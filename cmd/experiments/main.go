@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # every experiment, quick scale
+//	experiments -exp fig5 -scale paper   # one experiment at paper scale
+//	experiments -exp table1,table2 -out results/  # also dump CSVs
+//
+// Each experiment prints the same rows/series the paper reports; CSV
+// files (one per table and per plotted series) land in -out when given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gef/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (fig2..fig13, table1, table2) or 'all'")
+		scale = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "directory for CSV dumps (optional)")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	p := experiments.Params{
+		Scale: experiments.Scale(*scale),
+		Seed:  *seed,
+	}
+	if p.Scale != experiments.Quick && p.Scale != experiments.Paper {
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		r, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := r.Render(os.Stdout, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

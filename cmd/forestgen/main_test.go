@@ -1,0 +1,64 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gef/internal/dataset"
+)
+
+func TestLoadDataGenerators(t *testing.T) {
+	cases := []struct {
+		gen  string
+		rows int
+		cols int
+		task dataset.Task
+	}{
+		{"gprime", 50, 5, dataset.Regression},
+		{"sigmoid", 30, 1, dataset.Regression},
+		{"superconductivity", 20, 81, dataset.Regression},
+		{"census", 40, 0, dataset.Classification}, // width depends on one-hot
+	}
+	for _, c := range cases {
+		ds, err := loadData("", "", c.gen, c.rows, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.gen, err)
+		}
+		if ds.NumRows() != c.rows {
+			t.Errorf("%s: rows = %d, want %d", c.gen, ds.NumRows(), c.rows)
+		}
+		if c.cols > 0 && ds.NumFeatures() != c.cols {
+			t.Errorf("%s: features = %d, want %d", c.gen, ds.NumFeatures(), c.cols)
+		}
+		if ds.Task != c.task {
+			t.Errorf("%s: task = %v, want %v", c.gen, ds.Task, c.task)
+		}
+	}
+}
+
+func TestLoadDataCSV(t *testing.T) {
+	ds := dataset.GPrime(20, 0.1, 2)
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := dataset.SaveCSVFile(ds, path); err != nil {
+		t.Fatalf("SaveCSVFile: %v", err)
+	}
+	got, err := loadData(path, "regression", "", 0, 1)
+	if err != nil {
+		t.Fatalf("loadData: %v", err)
+	}
+	if got.NumRows() != 20 || got.NumFeatures() != 5 {
+		t.Errorf("shape %d×%d", got.NumRows(), got.NumFeatures())
+	}
+}
+
+func TestLoadDataErrors(t *testing.T) {
+	if _, err := loadData("", "", "", 10, 1); err == nil {
+		t.Error("accepted neither -data nor -gen")
+	}
+	if _, err := loadData("", "", "nope", 10, 1); err == nil {
+		t.Error("accepted unknown generator")
+	}
+	if _, err := loadData("x.csv", "clustering", "", 0, 1); err == nil {
+		t.Error("accepted unknown task")
+	}
+}

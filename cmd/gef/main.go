@@ -1,0 +1,199 @@
+// Command gef explains a serialized forest with the GEF pipeline — the
+// third-party certification-authority scenario of the paper: the tool
+// receives only the forest JSON (produced e.g. by forestgen), never the
+// training data, and outputs a global GAM explanation plus optional local
+// explanations.
+//
+// Usage:
+//
+//	gef -forest forest.json -splines 7
+//	gef -forest forest.json -splines 5 -interactions 2 -strategy equi-size -k 4500
+//	gef -forest forest.json -explain "1.2,0.4,33,..."   # local explanation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gef/internal/core"
+	"gef/internal/distill"
+	"gef/internal/featsel"
+	"gef/internal/forest"
+	"gef/internal/gam"
+	"gef/internal/plot"
+	"gef/internal/sampling"
+)
+
+func main() {
+	var (
+		forestPath   = flag.String("forest", "", "serialized forest JSON (required)")
+		splines      = flag.Int("splines", 5, "number of univariate components |F'|")
+		interactions = flag.Int("interactions", 0, "number of bi-variate components |F''|")
+		strategy     = flag.String("strategy", "equi-size", "sampling strategy: all-thresholds, k-quantile, equi-width, k-means, equi-size, random")
+		k            = flag.Int("k", 256, "points per sampling domain (K)")
+		n            = flag.Int("n", 50000, "synthetic dataset size |D*|")
+		interStrat   = flag.String("inter-strategy", "gain-path", "interaction strategy: pair-gain, count-path, gain-path, h-stat")
+		seed         = flag.Int64("seed", 1, "random seed")
+		explain      = flag.String("explain", "", "comma-separated instance to explain locally")
+		noCharts     = flag.Bool("no-charts", false, "suppress ASCII spline charts")
+		auto         = flag.Bool("auto", false, "choose |F'| and |F''| automatically (marginal-fidelity search)")
+		doDistill    = flag.Bool("distill", false, "also distill a single-tree surrogate and print its rules")
+		saveModel    = flag.String("save-model", "", "write the fitted GAM to this JSON file")
+	)
+	flag.Parse()
+
+	if *forestPath == "" {
+		fmt.Fprintln(os.Stderr, "gef: -forest is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := forest.LoadFile(*forestPath)
+	if err != nil {
+		fatal("loading forest: %v", err)
+	}
+	fmt.Printf("forest: %d trees, %d nodes, %d features, objective %s\n",
+		len(f.Trees), f.NumNodes(), f.NumFeatures, f.Objective)
+
+	cfg := core.Config{
+		NumUnivariate:       *splines,
+		NumInteractions:     *interactions,
+		InteractionStrategy: featsel.InteractionStrategy(*interStrat),
+		NumSamples:          *n,
+		Sampling:            sampling.Config{Strategy: sampling.Strategy(*strategy), K: *k},
+		Seed:                *seed,
+	}
+	var e *core.Explanation
+	if *auto {
+		var trace []core.AutoStep
+		e, trace, err = core.AutoExplain(f, core.AutoConfig{Base: cfg, MaxUnivariate: *splines})
+		if err != nil {
+			fatal("auto-explaining: %v", err)
+		}
+		fmt.Println("\nauto component search:")
+		for _, s := range trace {
+			verdict := "rejected"
+			if s.Accepted {
+				verdict = "accepted"
+			}
+			fmt.Printf("  %d splines, %d interactions: RMSE %.4f (%s)\n",
+				s.NumUnivariate, s.NumInteractions, s.RMSE, verdict)
+		}
+	} else {
+		e, err = core.Explain(f, cfg)
+		if err != nil {
+			fatal("explaining: %v", err)
+		}
+	}
+
+	fmt.Printf("\nGEF explanation — |F'| = %d, |F''| = %d, strategy %s\n",
+		len(e.Features), len(e.Pairs), *strategy)
+	fmt.Printf("fidelity on held-out D*: RMSE %.4f, R² %.4f\n", e.Fidelity.RMSE, e.Fidelity.R2)
+	fmt.Printf("GAM: λ = %.4g, edf = %.1f, intercept = %.4f\n\n",
+		e.Model.Report().Lambda, e.Model.Report().EDF, e.Model.Intercept())
+
+	fmt.Println("selected features (by accumulated gain):")
+	imp := f.GainImportance()
+	for rank, feat := range e.Features {
+		fmt.Printf("  %d. %-30s gain %.2f\n", rank+1, f.FeatureName(feat), imp[feat])
+	}
+	if len(e.Pairs) > 0 {
+		fmt.Println("selected interactions:")
+		for _, p := range e.Pairs {
+			fmt.Printf("  (%s, %s) score %.2f\n", f.FeatureName(p.I), f.FeatureName(p.J), p.Score)
+		}
+	}
+
+	if !*noCharts {
+		for ti := 0; ti < e.Model.NumTerms(); ti++ {
+			spec := e.Model.Term(ti)
+			if spec.Kind == gam.Tensor {
+				continue
+			}
+			var grid []float64
+			if spec.Kind == gam.Factor {
+				grid = e.Model.FactorTermLevels(ti)
+			} else {
+				lo, hi := e.Model.TermRange(ti)
+				grid = linspace(lo, hi, 48)
+			}
+			c, err := e.Model.TermCurve(ti, grid, 0.95)
+			if err != nil {
+				fatal("term curve: %v", err)
+			}
+			fmt.Println()
+			fmt.Print(plot.Render([]plot.Line{
+				{X: c.X, Y: c.Y, Name: "s(" + f.FeatureName(spec.Feature) + ")", Mark: '*'},
+				{X: c.X, Y: c.Lower, Name: "95% CI", Mark: '.'},
+				{X: c.X, Y: c.Upper, Mark: '.'},
+			}, plot.Options{Title: spec.Label(f.FeatureName)}))
+		}
+	}
+
+	if *saveModel != "" {
+		if err := e.Model.SaveFile(*saveModel, true); err != nil {
+			fatal("saving model: %v", err)
+		}
+		fmt.Printf("\nfitted GAM written to %s\n", *saveModel)
+	}
+
+	if *doDistill {
+		res, err := distill.Distill(f, distill.Config{MaxLeaves: 16, NumSamples: *n, Seed: *seed})
+		if err != nil {
+			fatal("distilling: %v", err)
+		}
+		fmt.Printf("\nsingle-tree surrogate (16 leaves): RMSE %.4f, R² %.4f vs forest\n", res.RMSE, res.R2)
+		fmt.Printf("GAM surrogate for comparison:      RMSE %.4f, R² %.4f\n", e.Fidelity.RMSE, e.Fidelity.R2)
+		for _, rule := range res.Rules(f.FeatureName) {
+			fmt.Println("  " + rule)
+		}
+	}
+
+	if *explain != "" {
+		x, err := parseInstance(*explain, f.NumFeatures)
+		if err != nil {
+			fatal("parsing -explain: %v", err)
+		}
+		le := e.ExplainInstance(x)
+		fmt.Printf("\nlocal explanation — forest output %.4f, GAM output %.4f, intercept %.4f\n",
+			le.ForestOutput, le.GamPrediction, le.Intercept)
+		labels := make([]string, len(le.Contributions))
+		values := make([]float64, len(le.Contributions))
+		for i, c := range le.Contributions {
+			labels[i] = c.Spec.Label(f.FeatureName)
+			values[i] = c.Value
+		}
+		fmt.Print(plot.Bars(labels, values, 40))
+	}
+}
+
+func parseInstance(s string, want int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("instance has %d values, forest expects %d", len(parts), want)
+	}
+	x := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %d: %w", i, err)
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gef: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseInstance(t *testing.T) {
+	x, err := parseInstance("1.5, -2, 3e2", 3)
+	if err != nil {
+		t.Fatalf("parseInstance: %v", err)
+	}
+	if x[0] != 1.5 || x[1] != -2 || x[2] != 300 {
+		t.Errorf("parsed %v", x)
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	if _, err := parseInstance("1,2", 3); err == nil {
+		t.Error("accepted wrong arity")
+	}
+	if _, err := parseInstance("1,abc,3", 3); err == nil {
+		t.Error("accepted non-numeric value")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	v := linspace(0, 1, 5)
+	if len(v) != 5 || v[0] != 0 || v[4] != 1 || v[2] != 0.5 {
+		t.Errorf("linspace = %v", v)
+	}
+}

@@ -1,0 +1,102 @@
+// Privacy/third-party scenario — the paper's motivating setting (§1):
+// a model owner trains a forest on private data and hands ONLY the
+// serialized forest to a certification authority; the authority explains
+// the model with GEF, never seeing a single training record, and then
+// verifies (with data the owner kept) that the explanation is faithful.
+//
+// The two roles are separated into functions that communicate exclusively
+// through the forest JSON bytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gef"
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/stats"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gef-handoff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	handoff := filepath.Join(dir, "forest.json")
+
+	// ------------------------------------------------------------------
+	// Role 1: the model owner. Private data never leaves this function.
+	privateTest := modelOwner(handoff)
+
+	// ------------------------------------------------------------------
+	// Role 2: the certification authority. Receives only the file.
+	explainer := certificationAuthority(handoff)
+
+	// ------------------------------------------------------------------
+	// Back at the owner: validate the authority's surrogate against the
+	// private held-out data (the paper's Table 2 protocol).
+	f, err := gef.LoadForest(handoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	forestPred := f.PredictBatch(privateTest.X)
+	gamPred := explainer.PredictBatch(privateTest.X)
+	fmt.Println("\n--- owner-side validation on private held-out data ---")
+	fmt.Printf("R² of surrogate vs forest:  %.4f\n", stats.R2(gamPred, forestPred))
+	fmt.Printf("R² of surrogate vs labels:  %.4f\n", stats.R2(gamPred, privateTest.Y))
+	fmt.Printf("R² of forest vs labels:     %.4f\n", stats.R2(forestPred, privateTest.Y))
+}
+
+// modelOwner trains on private data, writes the forest JSON, and returns
+// a private test split for later validation.
+func modelOwner(handoffPath string) *gef.Dataset {
+	fmt.Println("--- model owner: training on private data ---")
+	private := dataset.GPrime(8000, 0.1, 99)
+	train, test := private.Split(0.2, 1)
+	f, err := gef.TrainForest(train, gef.ForestParams{
+		NumTrees: 200, NumLeaves: 32, LearningRate: 0.1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gef.SaveForest(f, handoffPath); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(handoffPath)
+	fmt.Printf("forest serialized: %d trees, %d bytes — this file is ALL the authority gets\n",
+		len(f.Trees), info.Size())
+	return test
+}
+
+// certificationAuthority loads the forest from the hand-off file and
+// builds the GEF explanation with zero data access.
+func certificationAuthority(handoffPath string) *gef.Model {
+	fmt.Println("\n--- certification authority: explaining from the forest alone ---")
+	f, err := forest.LoadFile(handoffPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("received forest: %d features, %d nodes, objective %s\n",
+		f.NumFeatures, f.NumNodes(), f.Objective)
+
+	e, err := gef.Explain(f, gef.Config{
+		NumUnivariate: 5,
+		NumSamples:    30000,
+		Sampling:      gef.SamplingConfig{Strategy: gef.EquiSize, K: 500},
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explanation built from synthetic D* only — fidelity RMSE %.4f, R² %.4f\n",
+		e.Fidelity.RMSE, e.Fidelity.R2)
+	fmt.Println("features the model relies on (by internal gain):")
+	for rank, feat := range e.Features {
+		fmt.Printf("  %d. %s\n", rank+1, f.FeatureName(feat))
+	}
+	return e.Model
+}

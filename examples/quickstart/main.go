@@ -1,0 +1,85 @@
+// Quickstart: train a gradient-boosted forest on a synthetic additive
+// target, explain it with GEF, and inspect the learned splines — the
+// minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gef"
+	"gef/internal/dataset"
+)
+
+func main() {
+	// 1. Train a black-box forest. In a real deployment this is the model
+	// someone hands you; here we train on the paper's g′ generator:
+	// y = x₁ + sin(20x₂) + sigmoid(x₃) + arctan-mix(x₄) + 2/(x₅+1).
+	data := dataset.GPrime(8000, 0.1, 42)
+	train, test := data.Split(0.2, 1)
+	f, err := gef.TrainForest(train, gef.ForestParams{
+		NumTrees: 200, NumLeaves: 32, LearningRate: 0.1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forest: %d trees, %d nodes\n", len(f.Trees), f.NumNodes())
+
+	// 2. Explain it. GEF reads only the forest — thresholds, gains,
+	// structure — and never touches `data`.
+	e, err := gef.Explain(f, gef.Config{
+		NumUnivariate: 5, // |F'|: how many splines the analyst wants
+		NumSamples:    30000,
+		Sampling:      gef.SamplingConfig{Strategy: gef.EquiSize, K: 500},
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explainer fidelity on held-out D*: RMSE %.4f, R² %.4f\n",
+		e.Fidelity.RMSE, e.Fidelity.R2)
+
+	// 3. Global view: one spline per selected feature.
+	fmt.Println("\nglobal explanation (spline value at domain quartiles):")
+	for ti := 0; ti < e.Model.NumTerms(); ti++ {
+		lo, hi := e.Model.TermRange(ti)
+		grid := []float64{lo, lo + 0.25*(hi-lo), (lo + hi) / 2, lo + 0.75*(hi-lo), hi}
+		c, err := e.Model.TermCurve(ti, grid, 0.95)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec := e.Model.Term(ti)
+		fmt.Printf("  s(%s): ", f.FeatureName(spec.Feature))
+		for i := range grid {
+			fmt.Printf("%+.2f ", c.Y[i])
+		}
+		fmt.Println()
+	}
+
+	// 4. Local view: decompose one prediction.
+	x := test.X[0]
+	le := e.ExplainInstance(x)
+	fmt.Printf("\nlocal explanation of %v\n", x)
+	fmt.Printf("  forest says %.3f, GAM says %.3f (intercept %.3f)\n",
+		le.ForestOutput, le.GamPrediction, le.Intercept)
+	for _, c := range le.Contributions {
+		fmt.Printf("  %-8s %+.3f\n", f.FeatureName(c.Spec.Feature), c.Value)
+	}
+
+	// 5. Sanity: the GAM generalizes to the original data distribution it
+	// has never seen.
+	pred := e.Model.PredictBatch(test.X)
+	forestPred := f.PredictBatch(test.X)
+	var sse, sst, mean float64
+	for _, v := range forestPred {
+		mean += v
+	}
+	mean /= float64(len(forestPred))
+	for i := range pred {
+		d := pred[i] - forestPred[i]
+		sse += d * d
+		t := forestPred[i] - mean
+		sst += t * t
+	}
+	fmt.Printf("\nR² of GAM vs forest on original (unseen) test data: %.4f\n", 1-sse/sst)
+}

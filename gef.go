@@ -1,0 +1,290 @@
+// Package gef is the public API of GEF — GAM-based Explanation of
+// Forests — a from-scratch Go reproduction of "GAM Forest Explanation"
+// (Lucchese, Perego, Orlando, Veneri; EDBT 2023).
+//
+// GEF produces a Generalized Additive Model that explains a forest of
+// decision trees both globally (one spline per important feature, plus
+// optional bivariate tensor terms) and locally (per-term contributions
+// for any instance), using only the forest itself — never the data it
+// was trained on:
+//
+//	f, _ := gef.TrainForest(trainingData, gef.ForestParams{NumTrees: 300})
+//	e, _ := gef.Explain(f, gef.Config{NumUnivariate: 7})
+//	for i := 0; i < e.Model.NumTerms(); i++ {
+//	    curve, _ := e.Model.TermCurve(i, grid, 0.95)
+//	    // plot curve.Y with curve.Lower/curve.Upper confidence bands
+//	}
+//
+// The package is a facade over the internal implementation: the forest
+// data model and GBDT/Random-Forest trainers (internal/forest,
+// internal/gbdt), threshold-based sampling strategies (internal/sampling),
+// feature and interaction selection (internal/featsel), the penalized
+// B-spline GAM fitter (internal/gam), and the SHAP/LIME comparison
+// baselines (internal/shap, internal/lime).
+package gef
+
+import (
+	"gef/internal/core"
+	"gef/internal/dataset"
+	"gef/internal/distill"
+	"gef/internal/featsel"
+	"gef/internal/forest"
+	"gef/internal/gam"
+	"gef/internal/gbdt"
+	"gef/internal/lime"
+	"gef/internal/pdp"
+	"gef/internal/sampling"
+	"gef/internal/shap"
+)
+
+// Forest is an additive ensemble of binary decision trees — the black-box
+// model GEF explains. Forests are produced by TrainForest /
+// TrainRandomForest or deserialized with LoadForest.
+type Forest = forest.Forest
+
+// Tree and Node expose the forest structure (GEF assumes full access to
+// the forest, including test nodes and leaves).
+type (
+	Tree = forest.Tree
+	Node = forest.Node
+)
+
+// Objective identifies the forest's output scale.
+type Objective = forest.Objective
+
+// Forest objectives.
+const (
+	Regression     = forest.Regression
+	BinaryLogistic = forest.BinaryLogistic
+)
+
+// Dataset is a dense numeric dataset.
+type Dataset = dataset.Dataset
+
+// Dataset task markers.
+const (
+	RegressionTask     = dataset.Regression
+	ClassificationTask = dataset.Classification
+)
+
+// ForestParams configures gradient-boosting training (LightGBM-style:
+// histogram splits, leaf-wise growth, shrinkage, early stopping).
+type ForestParams = gbdt.Params
+
+// RandomForestParams configures bagged Random-Forest training.
+type RandomForestParams = gbdt.RFParams
+
+// TrainReport records per-iteration training/validation losses.
+type TrainReport = gbdt.Report
+
+// TrainForest fits a GBDT forest on ds.
+func TrainForest(ds *Dataset, p ForestParams) (*Forest, error) {
+	return gbdt.Train(ds, p)
+}
+
+// TrainForestValid fits a GBDT forest with a validation set and early
+// stopping.
+func TrainForestValid(train, valid *Dataset, p ForestParams) (*Forest, *TrainReport, error) {
+	return gbdt.TrainValid(train, valid, p)
+}
+
+// TrainRandomForest fits a bagged Random Forest on ds.
+func TrainRandomForest(ds *Dataset, p RandomForestParams) (*Forest, error) {
+	return gbdt.TrainRF(ds, p)
+}
+
+// SaveForest serializes a forest to a JSON file; LoadForest reads it
+// back. This is the hand-off format for the paper's third-party scenario:
+// the explainer needs only this file, not the training data.
+func SaveForest(f *Forest, path string) error { return forest.SaveFile(f, path) }
+
+// LoadForest reads a forest serialized by SaveForest.
+func LoadForest(path string) (*Forest, error) { return forest.LoadFile(path) }
+
+// Config controls the GEF pipeline; zero values take the paper's
+// defaults (|F′| = 5, Equi-Size sampling, Gain-Path interactions,
+// N = 100,000, L = 10).
+type Config = core.Config
+
+// Explanation is the result of Explain: the fitted GAM, the selected
+// features F′ and interactions F″, the synthetic dataset D*, and
+// fidelity measurements.
+type Explanation = core.Explanation
+
+// Fidelity reports surrogate faithfulness on held-out D*.
+type Fidelity = core.Fidelity
+
+// LocalExplanation decomposes one prediction into per-term contributions.
+type LocalExplanation = core.LocalExplanation
+
+// Explain runs the full GEF pipeline on a forest: feature selection from
+// gains, threshold-based sampling of D*, interaction selection, and GAM
+// fitting. Only the forest is consulted.
+func Explain(f *Forest, cfg Config) (*Explanation, error) {
+	return core.Explain(f, cfg)
+}
+
+// AutoConfig controls AutoExplain's component-count search.
+type AutoConfig = core.AutoConfig
+
+// AutoStep is one evaluated candidate in an AutoExplain search.
+type AutoStep = core.AutoStep
+
+// AutoExplain chooses |F′| and |F″| automatically: it grows the explainer
+// while each added component improves held-out fidelity by at least the
+// configured tolerance, evaluating all candidates on a common synthetic
+// dataset. This automates the elbow the paper reads off its Fig. 7.
+func AutoExplain(f *Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return core.AutoExplain(f, cfg)
+}
+
+// GAM surrogate model types.
+type (
+	// Model is a fitted GAM (the explainer Γ).
+	Model = gam.Model
+	// Curve is a univariate term evaluated on a grid with Bayesian
+	// credible bands.
+	Curve = gam.Curve
+	// Surface is a bivariate tensor term on a 2-D grid.
+	Surface = gam.Surface
+	// TermSpec declares one additive component.
+	TermSpec = gam.TermSpec
+	// Contribution is one term's share of a prediction.
+	Contribution = gam.Contribution
+	// GAMSpec declares a full GAM structure for direct fitting.
+	GAMSpec = gam.Spec
+	// GAMOptions controls GAM fitting (λ grid, IRLS limits).
+	GAMOptions = gam.Options
+)
+
+// Term kinds.
+const (
+	SplineTerm = gam.Spline
+	FactorTerm = gam.Factor
+	TensorTerm = gam.Tensor
+)
+
+// FitGAM fits a GAM directly on data — the building block Explain uses,
+// exposed for callers who already have a dataset.
+func FitGAM(spec GAMSpec, xs [][]float64, y []float64, opt GAMOptions) (*Model, error) {
+	return gam.Fit(spec, xs, y, opt)
+}
+
+// SaveModel serializes a fitted GAM to a JSON file so an explanation can
+// be published or archived. With includeCI the credible-interval factor
+// (O(p²/2) floats) is embedded; without it the reloaded model predicts
+// and explains but reports zero standard errors.
+func SaveModel(m *Model, path string, includeCI bool) error {
+	return m.SaveFile(path, includeCI)
+}
+
+// LoadModel reads a GAM serialized with SaveModel.
+func LoadModel(path string) (*Model, error) { return gam.LoadModelFile(path) }
+
+// SamplingStrategy selects how D* sampling domains are derived from the
+// forest's thresholds.
+type SamplingStrategy = sampling.Strategy
+
+// Sampling strategies (§3.3 of the paper).
+const (
+	AllThresholds = sampling.AllThresholds
+	KQuantile     = sampling.KQuantile
+	EquiWidth     = sampling.EquiWidth
+	KMeansDomains = sampling.KMeans
+	EquiSize      = sampling.EquiSize
+	RandomDomains = sampling.Random
+)
+
+// SamplingConfig configures domain construction (strategy, K, ε).
+type SamplingConfig = sampling.Config
+
+// InteractionStrategy ranks candidate feature pairs.
+type InteractionStrategy = featsel.InteractionStrategy
+
+// Interaction-detection strategies (§3.4 of the paper).
+const (
+	PairGain  = featsel.PairGain
+	CountPath = featsel.CountPath
+	GainPath  = featsel.GainPath
+	HStat     = featsel.HStat
+)
+
+// InteractionPair is a scored feature pair.
+type InteractionPair = featsel.Pair
+
+// TopFeatures returns the k features with the largest accumulated gain.
+func TopFeatures(f *Forest, k int) []int { return featsel.TopFeatures(f, k) }
+
+// RankInteractions scores all pairs of the selected features with the
+// given strategy (sample is required only for HStat).
+func RankInteractions(f *Forest, selected []int, s InteractionStrategy, sample [][]float64) ([]InteractionPair, error) {
+	return featsel.RankInteractions(f, selected, s, sample)
+}
+
+// ShapValues computes path-dependent TreeSHAP attributions for x on the
+// raw-score scale, returning (φ, base) with raw(x) = base + Σφ.
+func ShapValues(f *Forest, x []float64) (phi []float64, base float64) {
+	return shap.Values(f, x)
+}
+
+// InterventionalShapValues computes SHAP attributions under the
+// interventional (marginal) value function against an explicit
+// background sample — the "true to the data" TreeSHAP variant. Cost is
+// O(|background| · forest nodes) per instance.
+func InterventionalShapValues(f *Forest, x []float64, background [][]float64) (phi []float64, base float64) {
+	return shap.InterventionalValues(f, x, background)
+}
+
+// ShapAttribution pairs a feature with its SHAP value.
+type ShapAttribution = shap.Attribution
+
+// TopShap returns the k largest-magnitude attributions.
+func TopShap(phi []float64, k int) []ShapAttribution { return shap.TopAttributions(phi, k) }
+
+// DistillConfig configures single-tree distillation (the
+// tree-prototyping baseline family from the paper's related work).
+type DistillConfig = distill.Config
+
+// DistilledTree is a single-tree surrogate with fidelity measurements.
+type DistilledTree = distill.Result
+
+// DistillTree summarizes a forest as one shallow decision tree trained on
+// the forest's predictions over a threshold-derived synthetic dataset —
+// like GEF, it needs no training data. Use Result.Rules for a readable
+// rule list.
+func DistillTree(f *Forest, cfg DistillConfig) (*DistilledTree, error) {
+	return distill.Distill(f, cfg)
+}
+
+// PartialDependence evaluates the forest's one-dimensional partial
+// dependence for feature j over a grid, averaged over the background
+// sample.
+func PartialDependence(f *Forest, background [][]float64, j int, grid []float64) []float64 {
+	return pdp.Grid1D(f, background, j, grid)
+}
+
+// ICECurves computes Individual Conditional Expectation curves: one curve
+// per background row as feature j sweeps the grid. Their average is the
+// partial dependence; their spread reveals interactions.
+func ICECurves(f *Forest, background [][]float64, j int, grid []float64) [][]float64 {
+	return pdp.ICE(f, background, j, grid)
+}
+
+// HStatistic computes Friedman's pairwise interaction statistic for
+// features (i, j) over the sample (the paper's most expensive
+// interaction-detection strategy).
+func HStatistic(f *Forest, sample [][]float64, i, j int) float64 {
+	return pdp.HStatistic(f, sample, i, j)
+}
+
+// LimeConfig configures the LIME baseline.
+type LimeConfig = lime.Config
+
+// LimeExplanation is a fitted local ridge surrogate.
+type LimeExplanation = lime.Explanation
+
+// ExplainLIME fits a LIME local surrogate around x for an arbitrary
+// predict function.
+func ExplainLIME(predict func([]float64) float64, background [][]float64, x []float64, cfg LimeConfig) (*LimeExplanation, error) {
+	return lime.Explain(predict, background, x, cfg)
+}

@@ -1,0 +1,225 @@
+package gef
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"gef/internal/dataset"
+)
+
+// TestPublicAPIEndToEnd exercises the documented workflow: train, save,
+// load, explain, inspect terms, compare with SHAP and LIME.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := dataset.GPrime(3000, 0.1, 41)
+	train, valid := ds.Split(0.25, 1)
+
+	f, rep, err := TrainForestValid(train, valid, ForestParams{
+		NumTrees: 80, NumLeaves: 16, LearningRate: 0.1,
+		EarlyStoppingRounds: 15, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("TrainForestValid: %v", err)
+	}
+	if rep.BestIteration < 0 {
+		t.Fatal("no best iteration recorded")
+	}
+
+	// Round-trip through the hand-off format.
+	path := filepath.Join(t.TempDir(), "forest.json")
+	if err := SaveForest(f, path); err != nil {
+		t.Fatalf("SaveForest: %v", err)
+	}
+	loaded, err := LoadForest(path)
+	if err != nil {
+		t.Fatalf("LoadForest: %v", err)
+	}
+
+	e, err := Explain(loaded, Config{
+		NumUnivariate: 5,
+		NumSamples:    6000,
+		Sampling:      SamplingConfig{Strategy: EquiSize, K: 100},
+		GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if e.Fidelity.R2 < 0.9 {
+		t.Errorf("fidelity R² = %v", e.Fidelity.R2)
+	}
+
+	// Term curves are available for every univariate term.
+	for i := 0; i < e.Model.NumTerms(); i++ {
+		lo, hi := e.Model.TermRange(i)
+		c, err := e.Model.TermCurve(i, []float64{lo, (lo + hi) / 2, hi}, 0.95)
+		if err != nil {
+			t.Fatalf("TermCurve(%d): %v", i, err)
+		}
+		if len(c.Y) != 3 {
+			t.Fatalf("curve length %d", len(c.Y))
+		}
+	}
+
+	// Local explanation and SHAP agree on the raw prediction they
+	// decompose.
+	x := []float64{0.3, 0.6, 0.7, 0.1, 0.5}
+	le := e.ExplainInstance(x)
+	phi, base := ShapValues(loaded, x)
+	var shapSum float64 = base
+	for _, v := range phi {
+		shapSum += v
+	}
+	if math.Abs(shapSum-loaded.RawPredict(x)) > 1e-8 {
+		t.Errorf("SHAP reconstruction = %v, raw = %v", shapSum, loaded.RawPredict(x))
+	}
+	if math.Abs(le.ForestOutput-loaded.Predict(x)) > 1e-12 {
+		t.Errorf("local explanation forest output mismatch")
+	}
+
+	// LIME runs against the forest predict function.
+	lexp, err := ExplainLIME(loaded.Predict, e.Train.X[:200], x, LimeConfig{NumSamples: 400, Seed: 3})
+	if err != nil {
+		t.Fatalf("ExplainLIME: %v", err)
+	}
+	if len(lexp.Top(3)) != 3 {
+		t.Error("LIME top-3 unavailable")
+	}
+}
+
+func TestPublicFeatureAndInteractionHelpers(t *testing.T) {
+	ds := dataset.GPrime(2000, 0.1, 43)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 40, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	top := TopFeatures(f, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopFeatures = %v", top)
+	}
+	pairs, err := RankInteractions(f, top, GainPath, nil)
+	if err != nil {
+		t.Fatalf("RankInteractions: %v", err)
+	}
+	if len(pairs) != 3 {
+		t.Errorf("got %d pairs for 3 features, want 3", len(pairs))
+	}
+}
+
+func TestPublicRandomForest(t *testing.T) {
+	ds := dataset.GPrime(1500, 0.1, 47)
+	f, err := TrainRandomForest(ds, RandomForestParams{NumTrees: 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainRandomForest: %v", err)
+	}
+	// The future-work claim: GEF applies to RF unchanged.
+	e, err := Explain(f, Config{
+		NumUnivariate: 5,
+		NumSamples:    4000,
+		Sampling:      SamplingConfig{Strategy: KQuantile, K: 60},
+		GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatalf("Explain on RF: %v", err)
+	}
+	if e.Fidelity.R2 < 0.8 {
+		t.Errorf("RF fidelity R² = %v", e.Fidelity.R2)
+	}
+}
+
+func TestPublicDistillAndPDP(t *testing.T) {
+	ds := dataset.GPrime(2000, 0.1, 51)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 50, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	dt, err := DistillTree(f, DistillConfig{MaxLeaves: 32, NumSamples: 5000, Seed: 1})
+	if err != nil {
+		t.Fatalf("DistillTree: %v", err)
+	}
+	if dt.R2 < 0.4 {
+		t.Errorf("distilled tree R² = %v", dt.R2)
+	}
+	rules := dt.Rules(f.FeatureName)
+	if len(rules) == 0 {
+		t.Error("no rules extracted")
+	}
+	grid := []float64{0.1, 0.5, 0.9}
+	pd := PartialDependence(f, ds.X[:50], 2, grid)
+	if len(pd) != 3 {
+		t.Fatalf("PD length %d", len(pd))
+	}
+	// g′'s x₃ component is an increasing sigmoid.
+	if pd[2] <= pd[0] {
+		t.Errorf("PD of the sigmoid feature not increasing: %v", pd)
+	}
+	ice := ICECurves(f, ds.X[:20], 2, grid)
+	if len(ice) != 20 {
+		t.Fatalf("ICE rows %d", len(ice))
+	}
+	h := HStatistic(f, ds.X[:40], 0, 1)
+	if h < 0 || math.IsNaN(h) {
+		t.Errorf("H² = %v", h)
+	}
+}
+
+func TestPublicModelSerialization(t *testing.T) {
+	ds := dataset.GPrime(1500, 0.1, 53)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 40, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	e, err := Explain(f, Config{
+		NumUnivariate: 3, NumSamples: 4000,
+		Sampling: SamplingConfig{Strategy: EquiSize, K: 100},
+		GAM:      GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(e.Model, path, true); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	m, err := LoadModel(path)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	x := ds.X[0]
+	if m.Predict(x) != e.Model.Predict(x) {
+		t.Error("reloaded model predicts differently")
+	}
+}
+
+func TestPublicInterventionalShap(t *testing.T) {
+	ds := dataset.GPrime(800, 0.1, 57)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 30, NumLeaves: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	x := ds.X[0]
+	phi, base := InterventionalShapValues(f, x, ds.X[1:41])
+	sum := base
+	for _, v := range phi {
+		sum += v
+	}
+	if math.Abs(sum-f.RawPredict(x)) > 1e-8 {
+		t.Errorf("interventional reconstruction %v != raw %v", sum, f.RawPredict(x))
+	}
+}
+
+func TestPublicFitGAMDirect(t *testing.T) {
+	ds := dataset.Fig2Toy(1500, 0.05, 49)
+	m, err := FitGAM(GAMSpec{Terms: []TermSpec{
+		{Kind: SplineTerm, Feature: 0},
+		{Kind: SplineTerm, Feature: 1, NumBasis: 14},
+	}}, ds.X, ds.Y, GAMOptions{Lambdas: []float64{0.01, 1, 100}})
+	if err != nil {
+		t.Fatalf("FitGAM: %v", err)
+	}
+	if m.NumTerms() != 2 {
+		t.Errorf("terms = %d", m.NumTerms())
+	}
+}

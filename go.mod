@@ -1,0 +1,3 @@
+module gef
+
+go 1.22

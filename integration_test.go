@@ -1,0 +1,167 @@
+package gef
+
+// Cross-module integration tests: each exercises a full paper workflow
+// through the public API, combining modules that the per-package unit
+// tests cover in isolation.
+
+import (
+	"math"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/stats"
+)
+
+// TestIntegrationInteractionPipeline runs the complete §4 workflow on g″:
+// train on data with injected interactions, detect them with every
+// strategy, explain with tensor terms, and verify the explanation's
+// fidelity and structure.
+func TestIntegrationInteractionPipeline(t *testing.T) {
+	truth := [][2]int{{0, 1}, {2, 4}, {1, 3}}
+	ds := dataset.GDoublePrime(5000, 0.1, 71, truth)
+	train, test := ds.Split(0.2, 1)
+	f, err := TrainForest(train, ForestParams{NumTrees: 120, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+
+	// Every interaction strategy must produce a full ranking of the 10
+	// candidate pairs.
+	features := TopFeatures(f, 5)
+	for _, s := range []InteractionStrategy{PairGain, CountPath, GainPath, HStat} {
+		sample := train.X[:60]
+		pairs, err := RankInteractions(f, features, s, sample)
+		if err != nil {
+			t.Fatalf("RankInteractions(%s): %v", s, err)
+		}
+		if len(pairs) != 10 {
+			t.Fatalf("%s ranked %d pairs, want 10", s, len(pairs))
+		}
+		for i := 1; i < len(pairs); i++ {
+			if pairs[i].Score > pairs[i-1].Score+1e-12 {
+				t.Fatalf("%s ranking not sorted", s)
+			}
+		}
+	}
+
+	// Explain with the H-Stat strategy end-to-end (the most expensive
+	// path, including PD computation over D*).
+	e, err := Explain(f, Config{
+		NumUnivariate:       5,
+		NumInteractions:     3,
+		InteractionStrategy: HStat,
+		HStatSample:         50,
+		NumSamples:          6000,
+		Sampling:            SamplingConfig{Strategy: KQuantile, K: 120},
+		GAM:                 GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatalf("Explain with HStat: %v", err)
+	}
+	if len(e.Pairs) != 3 {
+		t.Fatalf("selected %d pairs, want 3", len(e.Pairs))
+	}
+	row := e.EvaluateOn(test)
+	if row.GamVsForest < 0.9 {
+		t.Errorf("Γ vs T R² = %v on original data", row.GamVsForest)
+	}
+}
+
+// TestIntegrationSurrogateComparison pits the three surrogates the
+// repository offers — GEF GAM, distilled tree, LIME local ridge — against
+// the same forest, verifying the expected fidelity ordering at matched
+// interpretability budgets: GAM > small tree globally.
+func TestIntegrationSurrogateComparison(t *testing.T) {
+	ds := dataset.GPrime(4000, 0.1, 73)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 100, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	e, err := Explain(f, Config{
+		NumUnivariate: 5, NumSamples: 8000,
+		Sampling: SamplingConfig{Strategy: EquiSize, K: 150},
+		GAM:      GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	dt, err := DistillTree(f, DistillConfig{MaxLeaves: 16, NumSamples: 8000, Seed: 5})
+	if err != nil {
+		t.Fatalf("DistillTree: %v", err)
+	}
+	if e.Fidelity.R2 <= dt.R2 {
+		t.Errorf("GAM fidelity (%v) should exceed a 16-leaf tree's (%v) on a smooth additive target",
+			e.Fidelity.R2, dt.R2)
+	}
+}
+
+// TestIntegrationExplanationConsistency checks the paper's §5.3 claim
+// quantitatively: GEF term values, SHAP attributions and LIME weights
+// must agree in *ranking* on which features matter for an instance whose
+// prediction is dominated by one feature.
+func TestIntegrationExplanationConsistency(t *testing.T) {
+	ds := dataset.GPrime(4000, 0.1, 79)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 100, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	e, err := Explain(f, Config{
+		NumUnivariate: 5, NumSamples: 8000,
+		Sampling: SamplingConfig{Strategy: EquiSize, K: 150},
+		GAM:      GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+
+	// Average |contribution| per feature over a sample, per method.
+	sample := ds.X[:60]
+	gefImp := make([]float64, 5)
+	shapImp := make([]float64, 5)
+	for _, x := range sample {
+		le := e.ExplainInstance(x)
+		for _, c := range le.Contributions {
+			gefImp[c.Spec.Feature] += math.Abs(c.Value)
+		}
+		phi, _ := ShapValues(f, x)
+		for j, v := range phi {
+			shapImp[j] += math.Abs(v)
+		}
+	}
+	// Spearman rank agreement between GEF and SHAP global importance.
+	if rho := stats.SpearmanCorrelation(gefImp, shapImp); rho < 0.6 {
+		t.Errorf("GEF/SHAP importance rank correlation %v, want ≥ 0.6", rho)
+	}
+}
+
+// TestIntegrationStagedTruncationConsistency ties the forest utilities
+// together: truncating a boosted forest at stage k must agree with the
+// staged predictions, and explanation of a truncated forest must work.
+func TestIntegrationStagedTruncationConsistency(t *testing.T) {
+	ds := dataset.GPrime(2000, 0.1, 83)
+	f, err := TrainForest(ds, ForestParams{NumTrees: 40, NumLeaves: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	x := ds.X[0]
+	staged := f.StagedPredict(x)
+	half, err := f.Truncate(20)
+	if err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if half.RawPredict(x) != staged[19] {
+		t.Errorf("truncated prediction %v != staged[19] %v", half.RawPredict(x), staged[19])
+	}
+	// A truncated forest is a valid explanation target.
+	if _, err := Explain(half, Config{
+		NumUnivariate: 3, NumSamples: 3000,
+		Sampling: SamplingConfig{Strategy: AllThresholds},
+		GAM:      GAMOptions{Lambdas: []float64{1, 100}},
+		Seed:     1,
+	}); err != nil {
+		t.Errorf("Explain on truncated forest: %v", err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package core orchestrates the complete GEF pipeline of the paper
+// (Fig. 1): univariate feature selection from the forest's gains (§3.2),
+// sampling-domain construction and synthetic-dataset generation from the
+// forest's thresholds (§3.3), interaction selection (§3.4), and fitting
+// of the explanation GAM (§3.5). No training data is consulted at any
+// point — the forest is the only input.
+package core
+
+import (
+	"fmt"
+
+	"gef/internal/dataset"
+	"gef/internal/featsel"
+	"gef/internal/forest"
+	"gef/internal/gam"
+	"gef/internal/sampling"
+	"gef/internal/stats"
+)
+
+// Config controls the GEF pipeline. The analyst-facing knobs of the paper
+// are NumUnivariate (|F′|), NumInteractions (|F″|), the sampling strategy
+// and its K; everything else has paper defaults.
+type Config struct {
+	// NumUnivariate is |F′|, the number of univariate components.
+	NumUnivariate int
+	// NumInteractions is |F″|, the number of bi-variate components
+	// (0 disables interaction terms).
+	NumInteractions int
+	// Sampling selects the D* sampling strategy (default Equi-Size with
+	// K = 64, the family the paper finds best after tuning).
+	Sampling sampling.Config
+	// InteractionStrategy ranks candidate pairs (default Gain-Path, the
+	// paper's recommended cost/accuracy tradeoff).
+	InteractionStrategy featsel.InteractionStrategy
+	// NumSamples is N = |D*| (default 100,000, the paper's setting).
+	NumSamples int
+	// TestFraction of D* is held out to measure fidelity (default 0.2,
+	// matching the paper's evaluation protocol).
+	TestFraction float64
+	// CategoricalThreshold is the paper's L: a feature with fewer than L
+	// distinct thresholds is modelled with a factor term (default 10).
+	CategoricalThreshold int
+	// SplineBasis / TensorBasis are the per-axis basis sizes (defaults
+	// 12 and 6).
+	SplineBasis int
+	TensorBasis int
+	// GAM passes fitting options through (λ grid, IRLS limits).
+	GAM gam.Options
+	// HStatSample is the D* subsample size used when
+	// InteractionStrategy is H-Stat (default 150; the statistic costs
+	// O(n²) forest evaluations per pair).
+	HStatSample int
+	// ForcedPairs bypasses interaction selection with an explicit F″
+	// (the paper's Table 2 fixes the interactions to the injected truth).
+	// When non-empty, NumInteractions and InteractionStrategy are ignored.
+	ForcedPairs [][2]int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumUnivariate == 0 {
+		c.NumUnivariate = 5
+	}
+	if c.Sampling.Strategy == "" {
+		c.Sampling.Strategy = sampling.EquiSize
+		if c.Sampling.K == 0 {
+			c.Sampling.K = 64
+		}
+	}
+	if c.InteractionStrategy == "" {
+		c.InteractionStrategy = featsel.GainPath
+	}
+	if c.NumSamples == 0 {
+		c.NumSamples = 100000
+	}
+	if c.TestFraction == 0 {
+		c.TestFraction = 0.2
+	}
+	if c.CategoricalThreshold == 0 {
+		c.CategoricalThreshold = 10
+	}
+	if c.SplineBasis == 0 {
+		c.SplineBasis = 12
+	}
+	if c.TensorBasis == 0 {
+		c.TensorBasis = 6
+	}
+	if c.HStatSample == 0 {
+		c.HStatSample = 150
+	}
+	return c
+}
+
+// Fidelity reports how faithfully the GAM mimics the forest on the
+// held-out fraction of D*.
+type Fidelity struct {
+	RMSE float64 // RMSE between GAM and forest predictions
+	R2   float64 // R² of GAM predictions against forest predictions
+}
+
+// Explanation is the result of running GEF on a forest.
+type Explanation struct {
+	// Model is the fitted GAM surrogate Γ.
+	Model *gam.Model
+	// Features is F′ in decreasing importance order.
+	Features []int
+	// Pairs is F″ in decreasing interaction-score order (empty when
+	// NumInteractions is 0).
+	Pairs []featsel.Pair
+	// Domains are the sampling domains D_i used to build D*.
+	Domains *sampling.Domains
+	// Train and Test are the D* splits (Test drove the Fidelity numbers).
+	Train, Test *dataset.Dataset
+	// Fidelity is measured on Test against the forest's own predictions.
+	Fidelity Fidelity
+	// Forest is the explained model.
+	Forest *forest.Forest
+	// Config echoes the (defaulted) configuration used.
+	Config Config
+}
+
+// Explain runs the full GEF pipeline on the forest.
+func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
+	cfg = cfg.withDefaults()
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("gef: invalid forest: %w", err)
+	}
+
+	// §3.2 — univariate selection F′ by accumulated gain.
+	features := featsel.TopFeatures(f, cfg.NumUnivariate)
+	if len(features) == 0 {
+		return nil, fmt.Errorf("gef: forest has no split nodes to explain")
+	}
+
+	// §3.3 — sampling domains and synthetic dataset D*. Features the GAM
+	// will model as factors (|V_i| < L) always use All-Thresholds
+	// domains: within a threshold cell the forest is constant, so extra
+	// domain points only inflate the factor level count.
+	smp := cfg.Sampling
+	if smp.Seed == 0 {
+		smp.Seed = cfg.Seed + 1
+	}
+	if smp.CategoricalThreshold == 0 {
+		smp.CategoricalThreshold = cfg.CategoricalThreshold
+	}
+	domains, err := sampling.BuildDomains(f, features, smp)
+	if err != nil {
+		return nil, err
+	}
+	dstar := sampling.Generate(f, domains, cfg.NumSamples, cfg.Seed+2)
+	train, test := dstar.Split(cfg.TestFraction, cfg.Seed+3)
+
+	// §3.4 — interaction selection F″ (independent of D*, except H-Stat
+	// which needs a data sample).
+	var pairs []featsel.Pair
+	if len(cfg.ForcedPairs) > 0 {
+		for _, p := range cfg.ForcedPairs {
+			a, b := p[0], p[1]
+			if a > b {
+				a, b = b, a
+			}
+			if a == b || a < 0 || b >= f.NumFeatures {
+				return nil, fmt.Errorf("gef: invalid forced pair %v", p)
+			}
+			pairs = append(pairs, featsel.Pair{I: a, J: b})
+		}
+	} else if cfg.NumInteractions > 0 && len(features) >= 2 {
+		var sample [][]float64
+		if cfg.InteractionStrategy == featsel.HStat {
+			n := cfg.HStatSample
+			if n > len(train.X) {
+				n = len(train.X)
+			}
+			sample = train.X[:n]
+		}
+		pairs, err = featsel.TopPairs(f, features, cfg.InteractionStrategy, sample, cfg.NumInteractions)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// §3.5 — build the GAM spec and fit Γ on D*.
+	spec, err := buildSpec(f, features, pairs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := gam.Fit(spec, train.X, train.Y, cfg.GAM)
+	if err != nil {
+		return nil, fmt.Errorf("gef: fitting the explanation GAM: %w", err)
+	}
+
+	e := &Explanation{
+		Model:    model,
+		Features: features,
+		Pairs:    pairs,
+		Domains:  domains,
+		Train:    train,
+		Test:     test,
+		Forest:   f,
+		Config:   cfg,
+	}
+	pred := model.PredictBatch(test.X)
+	e.Fidelity = Fidelity{
+		RMSE: stats.RMSE(pred, test.Y),
+		R2:   stats.R2(pred, test.Y),
+	}
+	return e, nil
+}
+
+// buildSpec assembles the GAM structure: a spline term per selected
+// feature — or a factor term when the forest's threshold count marks the
+// feature as categorical (paper heuristic |V_i| < L) — plus a tensor term
+// per selected pair.
+func buildSpec(f *forest.Forest, features []int, pairs []featsel.Pair, cfg Config) (gam.Spec, error) {
+	thresholds := f.ThresholdsByFeature()
+	spec := gam.Spec{Link: gam.Identity}
+	if f.Objective == forest.BinaryLogistic {
+		spec.Link = gam.Logit
+	}
+	for _, j := range features {
+		if isCategorical(thresholds[j], cfg.CategoricalThreshold) {
+			spec.Terms = append(spec.Terms, gam.TermSpec{Kind: gam.Factor, Feature: j})
+		} else {
+			spec.Terms = append(spec.Terms, gam.TermSpec{Kind: gam.Spline, Feature: j, NumBasis: cfg.SplineBasis})
+		}
+	}
+	for _, p := range pairs {
+		spec.Terms = append(spec.Terms, gam.TermSpec{
+			Kind: gam.Tensor, Feature: p.I, Feature2: p.J, NumBasis: cfg.TensorBasis,
+		})
+	}
+	return spec, nil
+}
+
+// isCategorical applies the paper's heuristic: fewer than L distinct
+// thresholds marks a feature as categorical.
+func isCategorical(thresholds []float64, l int) bool {
+	distinct := 0
+	for i, v := range thresholds {
+		if i == 0 || v != thresholds[i-1] {
+			distinct++
+		}
+	}
+	return distinct < l
+}
+
+// EvaluateOn measures fidelity on an external dataset (e.g. the original
+// test split when it is available, as in the paper's Table 2): the R² of
+// the GAM and of the forest against the dataset's labels, and the R² of
+// the GAM against the forest's predictions.
+func (e *Explanation) EvaluateOn(ds *dataset.Dataset) Table2Row {
+	forestPred := e.Forest.PredictBatch(ds.X)
+	gamPred := e.Model.PredictBatch(ds.X)
+	return Table2Row{
+		ForestVsLabels: stats.R2(forestPred, ds.Y),
+		GamVsForest:    stats.R2(gamPred, forestPred),
+		GamVsLabels:    stats.R2(gamPred, ds.Y),
+	}
+}
+
+// Table2Row holds the three R² numbers of the paper's Table 2 for one
+// dataset.
+type Table2Row struct {
+	ForestVsLabels float64 // R² of T against y
+	GamVsForest    float64 // R² of Γ against T(x)
+	GamVsLabels    float64 // R² of Γ against y
+}
+
+// LocalExplanation describes one prediction (paper Fig. 11): the
+// intercept, per-term contributions sorted by magnitude, and the forest
+// and GAM predictions for cross-checking.
+type LocalExplanation struct {
+	Intercept     float64
+	Contributions []gam.Contribution
+	GamPrediction float64
+	ForestOutput  float64
+}
+
+// ExplainInstance produces the local explanation of x.
+func (e *Explanation) ExplainInstance(x []float64) LocalExplanation {
+	intercept, contribs := e.Model.Explain(x)
+	return LocalExplanation{
+		Intercept:     intercept,
+		Contributions: contribs,
+		GamPrediction: e.Model.Predict(x),
+		ForestOutput:  e.Forest.Predict(x),
+	}
+}

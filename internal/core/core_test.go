@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/featsel"
+	"gef/internal/forest"
+	"gef/internal/gam"
+	"gef/internal/gbdt"
+	"gef/internal/sampling"
+)
+
+// gprimeForest trains a moderate forest on g′ for pipeline tests.
+func gprimeForest(t *testing.T) *forest.Forest {
+	t.Helper()
+	ds := dataset.GPrime(4000, 0.1, 31)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 100, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	return f
+}
+
+// quickCfg is a CI-sized GEF configuration. K must comfortably exceed the
+// spline basis size so every knot span is covered by grid points: the
+// Equi-Size strategy is K-sensitive (the paper's Fig. 8 finding), and at
+// K ≈ 40 the splines can wiggle between sparse grid points off-grid.
+func quickCfg() Config {
+	return Config{
+		NumUnivariate: 5,
+		NumSamples:    8000,
+		Sampling:      sampling.Config{Strategy: sampling.EquiSize, K: 100},
+		GAM:           gam.Options{Lambdas: gam.LogSpace(1e-2, 1e3, 7)},
+		Seed:          9,
+	}
+}
+
+func TestExplainEndToEnd(t *testing.T) {
+	f := gprimeForest(t)
+	e, err := Explain(f, quickCfg())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(e.Features) != 5 {
+		t.Errorf("|F′| = %d, want 5", len(e.Features))
+	}
+	if e.Model.NumTerms() != 5 {
+		t.Errorf("terms = %d, want 5", e.Model.NumTerms())
+	}
+	// The GAM must track the forest closely on held-out D* — g′ is
+	// additive, so fidelity should be high (paper reports R² 0.986).
+	if e.Fidelity.R2 < 0.95 {
+		t.Errorf("fidelity R² = %v, want ≥ 0.95 on an additive target", e.Fidelity.R2)
+	}
+	if e.Fidelity.RMSE <= 0 {
+		t.Errorf("fidelity RMSE = %v", e.Fidelity.RMSE)
+	}
+}
+
+func TestExplainReconstructsComponents(t *testing.T) {
+	// The learned splines must correlate with the true g′ generators
+	// (paper Fig. 4). Check the sharp sigmoid on x₃ (feature 2).
+	f := gprimeForest(t)
+	e, err := Explain(f, quickCfg())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	// Locate the term for feature 2.
+	ti := -1
+	for i := 0; i < e.Model.NumTerms(); i++ {
+		if e.Model.Term(i).Feature == 2 && e.Model.Term(i).Kind == gam.Spline {
+			ti = i
+		}
+	}
+	if ti < 0 {
+		t.Fatal("no spline term for feature 2")
+	}
+	x := make([]float64, 5)
+	for j := range x {
+		x[j] = 0.5
+	}
+	x[2] = 0.2
+	low := e.Model.TermValue(ti, x)
+	x[2] = 0.8
+	high := e.Model.TermValue(ti, x)
+	// True sigmoid jumps from ≈0 to ≈1; centered contributions differ by ≈1.
+	if high-low < 0.7 {
+		t.Errorf("sigmoid component jump = %v, want ≈ 1", high-low)
+	}
+}
+
+func TestExplainWithInteractions(t *testing.T) {
+	truth := [][2]int{{0, 1}, {2, 4}, {1, 3}}
+	ds := dataset.GDoublePrime(4000, 0.1, 33, truth)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 100, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	cfg := quickCfg()
+	cfg.NumInteractions = 3
+	e, err := Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(e.Pairs) != 3 {
+		t.Fatalf("|F″| = %d, want 3", len(e.Pairs))
+	}
+	if e.Model.NumTerms() != 8 {
+		t.Errorf("terms = %d, want 5 splines + 3 tensors", e.Model.NumTerms())
+	}
+	if e.Fidelity.R2 < 0.9 {
+		t.Errorf("fidelity R² = %v with interactions", e.Fidelity.R2)
+	}
+}
+
+func TestExplainClassificationForest(t *testing.T) {
+	ds := dataset.CensusN(4000, 35)
+	f, err := gbdt.Train(ds, gbdt.Params{
+		NumTrees: 60, NumLeaves: 16, LearningRate: 0.1,
+		Objective: forest.BinaryLogistic, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	cfg := Config{
+		NumUnivariate: 5,
+		NumSamples:    4000,
+		Sampling:      sampling.Config{Strategy: sampling.KQuantile, K: 30},
+		GAM:           gam.Options{Lambdas: gam.LogSpace(1e-1, 1e3, 5)},
+		Seed:          3,
+	}
+	e, err := Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if e.Model.Link() != gam.Logit {
+		t.Errorf("link = %v, want logit for a classification forest", e.Model.Link())
+	}
+	// Predictions must be probabilities.
+	for _, x := range e.Test.X[:50] {
+		p := e.Model.Predict(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestCategoricalHeuristic(t *testing.T) {
+	if !isCategorical([]float64{1, 1, 2, 2, 3}, 10) {
+		t.Error("3 distinct thresholds should be categorical with L=10")
+	}
+	many := make([]float64, 20)
+	for i := range many {
+		many[i] = float64(i)
+	}
+	if isCategorical(many, 10) {
+		t.Error("20 distinct thresholds should not be categorical")
+	}
+}
+
+func TestExplainBuildsFactorTermsForCategoricals(t *testing.T) {
+	// A forest whose feature has just 2 distinct thresholds (a 0/1-style
+	// feature) must yield a factor term.
+	ds := dataset.CensusN(3000, 37)
+	f, err := gbdt.Train(ds, gbdt.Params{
+		NumTrees: 40, NumLeaves: 8, LearningRate: 0.2,
+		Objective: forest.BinaryLogistic, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	cfg := Config{
+		NumUnivariate: 6,
+		NumSamples:    3000,
+		Sampling:      sampling.Config{Strategy: sampling.AllThresholds},
+		GAM:           gam.Options{Lambdas: gam.LogSpace(1e-1, 1e3, 5)},
+		Seed:          5,
+	}
+	e, err := Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	thresholds := f.ThresholdsByFeature()
+	for i := 0; i < e.Model.NumTerms(); i++ {
+		ts := e.Model.Term(i)
+		cat := isCategorical(thresholds[ts.Feature], 10)
+		if cat && ts.Kind != gam.Factor {
+			t.Errorf("feature %d is categorical but got %v term", ts.Feature, ts.Kind)
+		}
+		if !cat && ts.Kind != gam.Spline {
+			t.Errorf("feature %d is continuous but got %v term", ts.Feature, ts.Kind)
+		}
+	}
+}
+
+func TestExplainInvalidForest(t *testing.T) {
+	bad := &forest.Forest{NumFeatures: 0}
+	if _, err := Explain(bad, Config{}); err == nil {
+		t.Error("accepted invalid forest")
+	}
+}
+
+func TestExplainSplitlessForest(t *testing.T) {
+	f := &forest.Forest{
+		Trees:       []forest.Tree{{Nodes: []forest.Node{{Left: -1, Right: -1, Value: 1, Cover: 1}}}},
+		NumFeatures: 2,
+		Objective:   forest.Regression,
+	}
+	if _, err := Explain(f, Config{NumSamples: 100}); err == nil {
+		t.Error("accepted a forest with no splits")
+	}
+}
+
+func TestExplainInstanceDecomposition(t *testing.T) {
+	f := gprimeForest(t)
+	e, err := Explain(f, quickCfg())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	x := []float64{0.3, 0.7, 0.6, 0.2, 0.9}
+	le := e.ExplainInstance(x)
+	var sum float64 = le.Intercept
+	for _, c := range le.Contributions {
+		sum += c.Value
+	}
+	if math.Abs(sum-le.GamPrediction) > 1e-9 {
+		t.Errorf("contributions sum to %v, prediction %v", sum, le.GamPrediction)
+	}
+	// The GAM should be near the forest at this in-domain point.
+	if math.Abs(le.GamPrediction-le.ForestOutput) > 0.5 {
+		t.Errorf("GAM %v far from forest %v", le.GamPrediction, le.ForestOutput)
+	}
+	// Contributions must be sorted by decreasing magnitude.
+	for i := 1; i < len(le.Contributions); i++ {
+		if math.Abs(le.Contributions[i].Value) > math.Abs(le.Contributions[i-1].Value)+1e-12 {
+			t.Error("contributions not sorted by magnitude")
+		}
+	}
+}
+
+func TestEvaluateOnOriginalData(t *testing.T) {
+	ds := dataset.GPrime(4000, 0.1, 31)
+	train, test := ds.Split(0.2, 1)
+	f, err := gbdt.Train(train, gbdt.Params{NumTrees: 100, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	e, err := Explain(f, quickCfg())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	row := e.EvaluateOn(test)
+	if row.ForestVsLabels < 0.9 {
+		t.Errorf("forest R² = %v on its own test data", row.ForestVsLabels)
+	}
+	if row.GamVsForest < 0.9 {
+		t.Errorf("Γ vs T R² = %v, want ≥ 0.9 (paper: 0.986)", row.GamVsForest)
+	}
+	if row.GamVsLabels < 0.85 {
+		t.Errorf("Γ vs y R² = %v, want ≥ 0.85 (paper: 0.982)", row.GamVsLabels)
+	}
+}
+
+func TestForcedPairs(t *testing.T) {
+	f := gprimeForest(t)
+	cfg := quickCfg()
+	cfg.ForcedPairs = [][2]int{{3, 1}, {0, 4}} // unordered input accepted
+	e, err := Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(e.Pairs) != 2 {
+		t.Fatalf("pairs = %v", e.Pairs)
+	}
+	// Normalized to I < J.
+	if e.Pairs[0].I != 1 || e.Pairs[0].J != 3 {
+		t.Errorf("pair 0 = %+v, want (1,3)", e.Pairs[0])
+	}
+	if e.Model.NumTerms() != 7 { // 5 splines + 2 tensors
+		t.Errorf("terms = %d, want 7", e.Model.NumTerms())
+	}
+}
+
+func TestForcedPairsInvalid(t *testing.T) {
+	f := gprimeForest(t)
+	for _, bad := range [][2]int{{0, 0}, {-1, 2}, {0, 99}} {
+		cfg := quickCfg()
+		cfg.ForcedPairs = [][2]int{bad}
+		if _, err := Explain(f, cfg); err == nil {
+			t.Errorf("accepted invalid forced pair %v", bad)
+		}
+	}
+}
+
+func TestHStatSampleClamped(t *testing.T) {
+	// HStatSample larger than D* must not panic — it clamps to the
+	// training rows.
+	f := gprimeForest(t)
+	cfg := quickCfg()
+	cfg.NumSamples = 300
+	cfg.NumInteractions = 1
+	cfg.InteractionStrategy = featsel.HStat
+	cfg.HStatSample = 10000
+	if _, err := Explain(f, cfg); err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.NumUnivariate != 5 || c.NumSamples != 100000 || c.TestFraction != 0.2 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.Sampling.Strategy != sampling.EquiSize || c.InteractionStrategy != featsel.GainPath {
+		t.Errorf("strategy defaults wrong: %+v", c)
+	}
+	if c.CategoricalThreshold != 10 {
+		t.Errorf("L = %d, want the paper's 10", c.CategoricalThreshold)
+	}
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV with a header row; the target column
+// is written last under the name "target".
+func WriteCSV(d *Dataset, w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("refusing to write invalid dataset: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumFeatures()+1)
+	for j := 0; j < d.NumFeatures(); j++ {
+		name := fmt.Sprintf("f%d", j)
+		if j < len(d.FeatureNames) {
+			name = d.FeatureNames[j]
+		}
+		header = append(header, name)
+	}
+	header = append(header, "target")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(d.Y[i], 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (header row, numeric
+// columns, target last). The task must be supplied by the caller since
+// CSV does not carry it.
+func ReadCSV(r io.Reader, task Task) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("CSV needs at least one feature and a target column, got %d columns", len(header))
+	}
+	d := &Dataset{
+		FeatureNames: append([]string(nil), header[:len(header)-1]...),
+		Task:         task,
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("CSV line %d has %d columns, want %d", line, len(rec), len(header))
+		}
+		row := make([]float64, len(rec)-1)
+		for j := range row {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("CSV line %d column %q: %w", line, header[j], err)
+			}
+			row[j] = v
+		}
+		y, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("CSV line %d target: %w", line, err)
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveCSVFile writes the dataset to the named CSV file.
+func SaveCSVFile(d *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(d, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile reads a dataset from the named CSV file.
+func LoadCSVFile(path string, task Task) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, task)
+}

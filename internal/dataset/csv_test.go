@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(123)) }
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := tinyDataset()
+	var buf bytes.Buffer
+	if err := WriteCSV(d, &buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, Regression)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRows() != d.NumRows() || got.NumFeatures() != d.NumFeatures() {
+		t.Fatalf("shape changed: %d×%d", got.NumRows(), got.NumFeatures())
+	}
+	for i := range d.Y {
+		if got.Y[i] != d.Y[i] {
+			t.Errorf("Y[%d] = %v, want %v", i, got.Y[i], d.Y[i])
+		}
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Errorf("X[%d][%d] = %v, want %v", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+	}
+	if got.FeatureNames[0] != "a" || got.FeatureNames[1] != "b" {
+		t.Errorf("names = %v", got.FeatureNames)
+	}
+}
+
+func TestCSVExactFloats(t *testing.T) {
+	// Full float64 precision must survive the text round trip.
+	d := &Dataset{
+		X:    [][]float64{{1.0 / 3.0}},
+		Y:    []float64{2.0 / 7.0},
+		Task: Regression,
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(d, &buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, Regression)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.X[0][0] != d.X[0][0] || got.Y[0] != d.Y[0] {
+		t.Error("precision lost in CSV round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"one column", "only\n1\n"},
+		{"bad float", "a,target\nxx,1\n"},
+		{"bad target", "a,target\n1,yy\n"},
+		{"short row", "a,b,target\n1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.body), Regression); err == nil {
+			t.Errorf("%s: ReadCSV accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	d := tinyDataset()
+	d.Y = d.Y[:2]
+	var buf bytes.Buffer
+	if err := WriteCSV(d, &buf); err == nil {
+		t.Error("WriteCSV accepted invalid dataset")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := GPrime(30, 0.1, 6)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := SaveCSVFile(d, path); err != nil {
+		t.Fatalf("SaveCSVFile: %v", err)
+	}
+	got, err := LoadCSVFile(path, Regression)
+	if err != nil {
+		t.Fatalf("LoadCSVFile: %v", err)
+	}
+	if got.NumRows() != 30 {
+		t.Errorf("rows = %d, want 30", got.NumRows())
+	}
+}
+
+func TestLoadCSVFileMissing(t *testing.T) {
+	if _, err := LoadCSVFile(filepath.Join(t.TempDir(), "no.csv"), Regression); err == nil {
+		t.Error("LoadCSVFile accepted missing file")
+	}
+}

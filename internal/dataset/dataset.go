@@ -1,0 +1,132 @@
+// Package dataset provides the tabular dataset model used throughout GEF,
+// deterministic train/test splitting and cross-validation folds, CSV
+// import/export, and the data generators for all the paper's experiments:
+// the synthetic functions g′ and g″_Π of §4.1, the toy examples behind
+// Figs. 2–3, and offline statistical simulators standing in for the
+// Superconductivity and Census datasets of §5.1 (see DESIGN.md,
+// "Substitutions").
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Task describes the prediction task a dataset is labelled for.
+type Task string
+
+const (
+	// Regression marks continuous targets.
+	Regression Task = "regression"
+	// Classification marks binary targets in {0, 1}.
+	Classification Task = "classification"
+)
+
+// Dataset is a dense numeric design matrix with targets. Categorical
+// source columns are expected to be one-hot encoded before reaching this
+// type (see Table.OneHot).
+type Dataset struct {
+	X            [][]float64
+	Y            []float64
+	FeatureNames []string
+	Task         Task
+}
+
+// NumRows returns the number of instances.
+func (d *Dataset) NumRows() int { return len(d.X) }
+
+// NumFeatures returns the number of columns (0 for an empty dataset).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return len(d.FeatureNames)
+	}
+	return len(d.X[0])
+}
+
+// Validate checks shape invariants: rectangular X, matching Y length,
+// and matching FeatureNames length when names are present.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("dataset: %d rows but %d targets", len(d.X), len(d.Y))
+	}
+	w := d.NumFeatures()
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("dataset: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	if len(d.FeatureNames) != 0 && len(d.FeatureNames) != w {
+		return fmt.Errorf("dataset: %d feature names for %d features", len(d.FeatureNames), w)
+	}
+	if d.Task != Regression && d.Task != Classification {
+		return fmt.Errorf("dataset: unknown task %q", d.Task)
+	}
+	return nil
+}
+
+// Subset returns a new dataset containing the rows at the given indices.
+// Rows are shared, not copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := &Dataset{
+		X:            make([][]float64, len(idx)),
+		Y:            make([]float64, len(idx)),
+		FeatureNames: d.FeatureNames,
+		Task:         d.Task,
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test subsets, with testFrac
+// of rows (rounded down, at least 1 when possible) assigned to test after
+// a deterministic shuffle driven by seed.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	if testFrac < 0 || testFrac > 1 {
+		panic(fmt.Sprintf("dataset: testFrac %v out of [0,1]", testFrac))
+	}
+	n := d.NumRows()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest == 0 && testFrac > 0 && n > 1 {
+		nTest = 1
+	}
+	return d.Subset(perm[nTest:]), d.Subset(perm[:nTest])
+}
+
+// KFold returns k disjoint index folds covering [0, n) after a
+// deterministic shuffle. Fold sizes differ by at most one.
+func KFold(n, k int, seed int64) [][]int {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("dataset: invalid k=%d for n=%d", k, n))
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds
+}
+
+// FoldSplit returns the train/test index sets for fold i of the given
+// folds (test = folds[i], train = all others).
+func FoldSplit(folds [][]int, i int) (train, test []int) {
+	test = folds[i]
+	for j, f := range folds {
+		if j != i {
+			train = append(train, f...)
+		}
+	}
+	return train, test
+}
+
+// Column returns a copy of column j.
+func (d *Dataset) Column(j int) []float64 {
+	out := make([]float64, len(d.X))
+	for i, row := range d.X {
+		out[i] = row[j]
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyDataset() *Dataset {
+	return &Dataset{
+		X:            [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}},
+		Y:            []float64{1, 2, 3, 4, 5},
+		FeatureNames: []string{"a", "b"},
+		Task:         Regression,
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	d := tinyDataset()
+	if d.NumRows() != 5 || d.NumFeatures() != 2 {
+		t.Errorf("shape %d×%d, want 5×2", d.NumRows(), d.NumFeatures())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(d *Dataset)
+	}{
+		{"length mismatch", func(d *Dataset) { d.Y = d.Y[:3] }},
+		{"ragged", func(d *Dataset) { d.X[2] = []float64{1} }},
+		{"bad names", func(d *Dataset) { d.FeatureNames = []string{"a"} }},
+		{"bad task", func(d *Dataset) { d.Task = "clustering" }},
+	}
+	for _, c := range cases {
+		d := tinyDataset()
+		c.mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: accepted invalid dataset", c.name)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := tinyDataset()
+	s := d.Subset([]int{4, 0})
+	if s.NumRows() != 2 || s.Y[0] != 5 || s.Y[1] != 1 {
+		t.Errorf("Subset rows wrong: %+v", s.Y)
+	}
+	if s.X[0][0] != 9 {
+		t.Errorf("Subset X wrong: %v", s.X[0])
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	d := GPrime(100, 0.1, 1)
+	train, test := d.Split(0.2, 7)
+	if train.NumRows()+test.NumRows() != 100 {
+		t.Fatalf("split sizes %d+%d != 100", train.NumRows(), test.NumRows())
+	}
+	if test.NumRows() != 20 {
+		t.Errorf("test size %d, want 20", test.NumRows())
+	}
+	// Disjointness: row pointers must not repeat.
+	seen := map[*float64]bool{}
+	for _, r := range train.X {
+		seen[&r[0]] = true
+	}
+	for _, r := range test.X {
+		if seen[&r[0]] {
+			t.Fatal("train and test share a row")
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d := GPrime(50, 0.1, 1)
+	_, t1 := d.Split(0.3, 99)
+	_, t2 := d.Split(0.3, 99)
+	for i := range t1.Y {
+		if t1.Y[i] != t2.Y[i] {
+			t.Fatal("same-seed splits differ")
+		}
+	}
+}
+
+func TestSplitTinyFraction(t *testing.T) {
+	d := tinyDataset()
+	_, test := d.Split(0.01, 1)
+	if test.NumRows() != 1 {
+		t.Errorf("tiny fraction should still yield 1 test row, got %d", test.NumRows())
+	}
+}
+
+func TestSplitBadFracPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tinyDataset().Split(1.5, 1)
+}
+
+func TestKFoldPartition(t *testing.T) {
+	folds := KFold(10, 3, 5)
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds, want 3", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("folds cover %d indices, want 10", len(seen))
+	}
+	// Sizes differ by at most 1.
+	for _, f := range folds {
+		if len(f) < 3 || len(f) > 4 {
+			t.Errorf("fold size %d out of balance", len(f))
+		}
+	}
+}
+
+func TestKFoldInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KFold(3, 5, 1)
+}
+
+func TestFoldSplit(t *testing.T) {
+	folds := [][]int{{0, 1}, {2, 3}, {4}}
+	train, test := FoldSplit(folds, 1)
+	if len(test) != 2 || test[0] != 2 {
+		t.Errorf("test = %v", test)
+	}
+	if len(train) != 3 {
+		t.Errorf("train = %v", train)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	d := tinyDataset()
+	col := d.Column(1)
+	want := []float64{2, 4, 6, 8, 10}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("Column(1)[%d] = %v, want %v", i, col[i], want[i])
+		}
+	}
+}
+
+func TestGPrimeShapeAndRange(t *testing.T) {
+	d := GPrime(500, 0.1, 3)
+	if d.NumRows() != 500 || d.NumFeatures() != 5 {
+		t.Fatalf("shape %d×%d", d.NumRows(), d.NumFeatures())
+	}
+	for _, row := range d.X {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("feature value %v outside [0,1]", v)
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestGPrimeTrueMatchesComponents(t *testing.T) {
+	x := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var want float64
+	for j, v := range x {
+		want += GPrimeComponent(j, v)
+	}
+	if got := GPrimeTrue(x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GPrimeTrue = %v, want %v", got, want)
+	}
+}
+
+func TestGPrimeComponentValues(t *testing.T) {
+	// Component 0 is the identity.
+	if got := GPrimeComponent(0, 0.37); got != 0.37 {
+		t.Errorf("component 0 = %v", got)
+	}
+	// Component 2 is a sigmoid: 0.5 at x=0.5, ≈0/1 at extremes.
+	if got := GPrimeComponent(2, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0.5) = %v, want 0.5", got)
+	}
+	if got := GPrimeComponent(2, 0); got > 1e-9 {
+		t.Errorf("sigmoid(0) = %v, want ≈0", got)
+	}
+	if got := GPrimeComponent(2, 1); got < 1-1e-9 {
+		t.Errorf("sigmoid(1) = %v, want ≈1", got)
+	}
+	// Component 4 is 2/(x+1): 2 at 0, 1 at 1.
+	if got := GPrimeComponent(4, 0); got != 2 {
+		t.Errorf("2/(x+1) at 0 = %v", got)
+	}
+	if got := GPrimeComponent(4, 1); got != 1 {
+		t.Errorf("2/(x+1) at 1 = %v", got)
+	}
+}
+
+func TestGPrimeComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GPrimeComponent(5, 0.5)
+}
+
+func TestHInteractionPeakAtCenter(t *testing.T) {
+	center := HInteraction(0.5, 0.5)
+	if center != 2 {
+		t.Errorf("h(0.5,0.5) = %v, want 2", center)
+	}
+	if HInteraction(0, 0) >= center {
+		t.Error("h should peak at the center")
+	}
+	// Radial symmetry.
+	if math.Abs(HInteraction(0.2, 0.5)-HInteraction(0.8, 0.5)) > 1e-12 {
+		t.Error("h should be symmetric about 0.5")
+	}
+	if math.Abs(HInteraction(0.3, 0.7)-HInteraction(0.7, 0.3)) > 1e-12 {
+		t.Error("h should be exchangeable in its arguments")
+	}
+}
+
+func TestGDoublePrimeAddsInteractions(t *testing.T) {
+	x := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	base := GPrimeTrue(x)
+	withPairs := GDoublePrimeTrue(x, [][2]int{{0, 1}, {2, 3}})
+	want := base + 2*HInteraction(0.5, 0.5)
+	if math.Abs(withPairs-want) > 1e-12 {
+		t.Errorf("g'' = %v, want %v", withPairs, want)
+	}
+}
+
+func TestGDoublePrimeInvalidPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GDoublePrime(10, 0.1, 1, [][2]int{{0, 7}})
+}
+
+func TestGPrimeDeterministic(t *testing.T) {
+	a := GPrime(20, 0.1, 42)
+	b := GPrime(20, 0.1, 42)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same-seed generation differs")
+		}
+	}
+	c := GPrime(20, 0.1, 43)
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != c.Y[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAllInteractionPairs(t *testing.T) {
+	pairs := AllInteractionPairs(5)
+	if len(pairs) != 10 {
+		t.Fatalf("C(5,2) = %d, want 10", len(pairs))
+	}
+	if pairs[0] != [2]int{0, 1} || pairs[9] != [2]int{3, 4} {
+		t.Errorf("pair order unexpected: %v", pairs)
+	}
+}
+
+func TestAllInteractionTriples(t *testing.T) {
+	triples := AllInteractionTriples(AllInteractionPairs(5))
+	if len(triples) != 120 {
+		t.Fatalf("C(10,3) = %d, want 120 (the paper's configuration count)", len(triples))
+	}
+	// All triples distinct.
+	seen := map[[3][2]int]bool{}
+	for _, tr := range triples {
+		if seen[tr] {
+			t.Fatalf("duplicate triple %v", tr)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestSigmoidToy(t *testing.T) {
+	d := SigmoidToy(100, 0, 1)
+	if d.NumFeatures() != 1 {
+		t.Fatalf("features = %d, want 1", d.NumFeatures())
+	}
+	for i, row := range d.X {
+		x := row[0]
+		e := math.Exp(50 * (x - 0.5))
+		if math.Abs(d.Y[i]-e/(e+1)) > 1e-12 {
+			t.Fatalf("noiseless sigmoid label mismatch at %v", x)
+		}
+	}
+}
+
+func TestFig2Toy(t *testing.T) {
+	d := Fig2Toy(50, 0, 2)
+	for i, row := range d.X {
+		want := row[0] + math.Sin(2*math.Pi*row[1])
+		if math.Abs(d.Y[i]-want) > 1e-12 {
+			t.Fatalf("fig2 label mismatch at row %d", i)
+		}
+	}
+}

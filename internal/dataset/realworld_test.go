@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gef/internal/stats"
+)
+
+func TestSuperconductivityFeatureNames(t *testing.T) {
+	names := SuperconductivityFeatureNames()
+	if len(names) != 81 {
+		t.Fatalf("got %d names, want 81", len(names))
+	}
+	if names[0] != "number_of_elements" {
+		t.Errorf("first feature = %q", names[0])
+	}
+	found := false
+	for _, n := range names {
+		if n == "wtd_entropy_atomic_mass" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("WEAM feature missing")
+	}
+}
+
+func TestSuperconductivityShape(t *testing.T) {
+	d := SuperconductivityN(300, 1)
+	if d.NumRows() != 300 || d.NumFeatures() != 81 {
+		t.Fatalf("shape %d×%d, want 300×81", d.NumRows(), d.NumFeatures())
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Critical temperatures are non-negative and non-constant.
+	for _, y := range d.Y {
+		if y < 0 {
+			t.Fatalf("negative critical temperature %v", y)
+		}
+	}
+	if stats.StdDev(d.Y) < 1 {
+		t.Error("target variance suspiciously low")
+	}
+}
+
+func TestSuperconductivityWEAMJump(t *testing.T) {
+	// The WEAM driver must produce a sharp drop across 1.1: mean target
+	// below 1.0 should clearly exceed mean target above 1.2.
+	d := SuperconductivityN(4000, 2)
+	weam := -1
+	for i, n := range d.FeatureNames {
+		if n == "wtd_entropy_atomic_mass" {
+			weam = i
+		}
+	}
+	if weam < 0 {
+		t.Fatal("WEAM not found")
+	}
+	var lo, hi []float64
+	for i, row := range d.X {
+		switch {
+		case row[weam] < 1.0:
+			lo = append(lo, d.Y[i])
+		case row[weam] > 1.2:
+			hi = append(hi, d.Y[i])
+		}
+	}
+	if len(lo) < 100 || len(hi) < 100 {
+		t.Fatalf("insufficient coverage: %d low, %d high", len(lo), len(hi))
+	}
+	if stats.Mean(lo)-stats.Mean(hi) < 20 {
+		t.Errorf("WEAM jump too small: low-side mean %v, high-side mean %v",
+			stats.Mean(lo), stats.Mean(hi))
+	}
+}
+
+func TestSuperconductivityDeterministic(t *testing.T) {
+	a := SuperconductivityN(50, 9)
+	b := SuperconductivityN(50, 9)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same-seed generation differs")
+		}
+	}
+}
+
+func TestCensusTableSchema(t *testing.T) {
+	tab := CensusTableN(200, 1)
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(tab.Columns) != 14 {
+		t.Fatalf("got %d columns, want 14", len(tab.Columns))
+	}
+	byName := map[string]*TableColumn{}
+	for i := range tab.Columns {
+		byName[tab.Columns[i].Name] = &tab.Columns[i]
+	}
+	for _, want := range []string{"age", "education", "education-num", "race", "sex", "native-country"} {
+		if byName[want] == nil {
+			t.Errorf("missing column %q", want)
+		}
+	}
+	if byName["sex"].Kind != Categorical || len(byName["sex"].Levels) != 2 {
+		t.Error("sex should be categorical with 2 levels")
+	}
+	if byName["age"].Kind != Numeric {
+		t.Error("age should be numeric")
+	}
+}
+
+func TestCensusEducationRedundancy(t *testing.T) {
+	// education (categorical) and education-num (numeric) must encode the
+	// same fact, as in the real Adult dataset.
+	tab := CensusTableN(100, 2)
+	var edu, eduNum *TableColumn
+	for i := range tab.Columns {
+		switch tab.Columns[i].Name {
+		case "education":
+			edu = &tab.Columns[i]
+		case "education-num":
+			eduNum = &tab.Columns[i]
+		}
+	}
+	for i := 0; i < tab.NumRows(); i++ {
+		if edu.Values[i] != eduNum.Values[i]-1 {
+			t.Fatalf("row %d: education=%v but education-num=%v", i, edu.Values[i], eduNum.Values[i])
+		}
+	}
+}
+
+func TestCensusPositiveRate(t *testing.T) {
+	tab := CensusTableN(8000, 3)
+	rate := stats.Mean(tab.Y)
+	if rate < 0.12 || rate > 0.40 {
+		t.Errorf("positive rate %v outside plausible Adult range [0.12, 0.40]", rate)
+	}
+}
+
+func TestCensusEducationMonotone(t *testing.T) {
+	// The paper's Fig. 10 reads EducationNum as positively correlated with
+	// salary: positive rate among highly educated should far exceed that
+	// of the less educated.
+	tab := CensusTableN(12000, 4)
+	var eduNum *TableColumn
+	for i := range tab.Columns {
+		if tab.Columns[i].Name == "education-num" {
+			eduNum = &tab.Columns[i]
+		}
+	}
+	var loPos, loN, hiPos, hiN float64
+	for i := 0; i < tab.NumRows(); i++ {
+		if eduNum.Values[i] <= 8 {
+			loPos += tab.Y[i]
+			loN++
+		} else if eduNum.Values[i] >= 13 {
+			hiPos += tab.Y[i]
+			hiN++
+		}
+	}
+	if loN == 0 || hiN == 0 {
+		t.Fatal("degenerate education distribution")
+	}
+	if hiPos/hiN <= loPos/loN+0.1 {
+		t.Errorf("education effect too weak: low %.3f, high %.3f", loPos/loN, hiPos/hiN)
+	}
+}
+
+func TestCensusOneHot(t *testing.T) {
+	d := CensusN(100, 5)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// education dropped; education-num retained.
+	for _, n := range d.FeatureNames {
+		if strings.HasPrefix(n, "education=") {
+			t.Errorf("education should have been dropped, found %q", n)
+		}
+	}
+	hasEduNum := false
+	hasSexMale := false
+	for _, n := range d.FeatureNames {
+		if n == "education-num" {
+			hasEduNum = true
+		}
+		if n == "sex=Male" {
+			hasSexMale = true
+		}
+	}
+	if !hasEduNum || !hasSexMale {
+		t.Errorf("expected education-num and sex=Male in %d features", d.NumFeatures())
+	}
+	// One-hot columns are 0/1 and exactly one level fires per source col.
+	sexF, sexM := -1, -1
+	for j, n := range d.FeatureNames {
+		if n == "sex=Female" {
+			sexF = j
+		}
+		if n == "sex=Male" {
+			sexM = j
+		}
+	}
+	for _, row := range d.X {
+		if row[sexF]+row[sexM] != 1 {
+			t.Fatal("one-hot sex does not sum to 1")
+		}
+	}
+}
+
+func TestTableDrop(t *testing.T) {
+	tab := CensusTableN(10, 1)
+	dropped := tab.Drop("education", "race")
+	if len(dropped.Columns) != 12 {
+		t.Errorf("got %d columns after drop, want 12", len(dropped.Columns))
+	}
+	for _, c := range dropped.Columns {
+		if c.Name == "education" || c.Name == "race" {
+			t.Errorf("column %q not dropped", c.Name)
+		}
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	tab := CensusTableN(10, 1)
+	tab.Columns[0].Values = tab.Columns[0].Values[:5]
+	if err := tab.Validate(); err == nil {
+		t.Error("accepted ragged table")
+	}
+	tab2 := CensusTableN(10, 1)
+	tab2.Columns[1].Values[0] = 99 // invalid level
+	if err := tab2.Validate(); err == nil {
+		t.Error("accepted invalid level index")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := newTestRand()
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[weightedPick(rng, []float64{0.5, 0.3, 0.2})]++
+	}
+	for i, want := range []float64{0.5, 0.3, 0.2} {
+		got := float64(counts[i]) / 30000
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("level %d frequency %v, want ≈ %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GPrimeDim is the dimensionality of the paper's synthetic function g′.
+const GPrimeDim = 5
+
+// GPrimeTrue evaluates the paper's noiseless generator function g′ (§4.1):
+//
+//	g′(x) = x₁ + sin(20x₂) + sigmoid₅₀(x₃−0.5)
+//	      + (arctan(10x₄) − sin(10x₄))/2 + 2/(x₅+1)
+//
+// over x ∈ [0,1]⁵. Each additive component is bounded in roughly [−1, 2]
+// so no single feature dominates.
+func GPrimeTrue(x []float64) float64 {
+	return GPrimeComponent(0, x[0]) +
+		GPrimeComponent(1, x[1]) +
+		GPrimeComponent(2, x[2]) +
+		GPrimeComponent(3, x[3]) +
+		GPrimeComponent(4, x[4])
+}
+
+// GPrimeComponent evaluates the j-th univariate generator of g′ at value v.
+// Exposing the components individually lets the Fig. 4 experiment compare
+// learned GAM splines against each true generator.
+func GPrimeComponent(j int, v float64) float64 {
+	switch j {
+	case 0:
+		return v
+	case 1:
+		return math.Sin(20 * v)
+	case 2:
+		e := math.Exp(50 * (v - 0.5))
+		return e / (e + 1)
+	case 3:
+		return (math.Atan(10*v) - math.Sin(10*v)) / 2
+	case 4:
+		return 2 / (v + 1)
+	default:
+		panic(fmt.Sprintf("dataset: g′ has no component %d", j))
+	}
+}
+
+// HInteraction is the paper's pairwise interaction bump h(x_i, x_j):
+//
+//	h(a, b) = 2·exp(−((a−0.5)² + (b−0.5)²) / (2·√(2π)))
+//
+// a radially symmetric bump centred at (0.5, 0.5).
+func HInteraction(a, b float64) float64 {
+	d := (a-0.5)*(a-0.5) + (b-0.5)*(b-0.5)
+	return 2 * math.Exp(-1/math.Sqrt(2*math.Pi)*d/2)
+}
+
+// GDoublePrimeTrue evaluates g″_Π(x) = g′(x) + Σ_{(i,j)∈Π} h(x_i, x_j)
+// for the given interaction pairs (feature indices, 0-based).
+func GDoublePrimeTrue(x []float64, pairs [][2]int) float64 {
+	y := GPrimeTrue(x)
+	for _, p := range pairs {
+		y += HInteraction(x[p[0]], x[p[1]])
+	}
+	return y
+}
+
+// GPrime samples n instances uniformly from [0,1]⁵ labelled with
+// g′(x) + ε, ε ~ N(0, noiseSD²). The paper uses n = 10,000 and
+// noiseSD = 0.1.
+func GPrime(n int, noiseSD float64, seed int64) *Dataset {
+	return synthSample(n, noiseSD, seed, func(x []float64) float64 { return GPrimeTrue(x) })
+}
+
+// GDoublePrime samples n instances labelled with g″_Π(x) + ε for the given
+// interaction pairs.
+func GDoublePrime(n int, noiseSD float64, seed int64, pairs [][2]int) *Dataset {
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= GPrimeDim || p[1] < 0 || p[1] >= GPrimeDim || p[0] == p[1] {
+			panic(fmt.Sprintf("dataset: invalid interaction pair %v", p))
+		}
+	}
+	return synthSample(n, noiseSD, seed, func(x []float64) float64 { return GDoublePrimeTrue(x, pairs) })
+}
+
+func synthSample(n int, noiseSD float64, seed int64, f func([]float64) float64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		X:            make([][]float64, n),
+		Y:            make([]float64, n),
+		FeatureNames: []string{"x1", "x2", "x3", "x4", "x5"},
+		Task:         Regression,
+	}
+	for i := 0; i < n; i++ {
+		x := make([]float64, GPrimeDim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		d.X[i] = x
+		d.Y[i] = f(x) + noiseSD*rng.NormFloat64()
+	}
+	return d
+}
+
+// AllInteractionPairs returns all C(d,2) unordered feature pairs over d
+// features, in lexicographic order. For g′ (d = 5) this is the paper's 10
+// candidate interactions.
+func AllInteractionPairs(d int) [][2]int {
+	var out [][2]int
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// AllInteractionTriples returns all C(len(pairs), 3) sets of three distinct
+// pairs — the paper's 120 interaction configurations Π for g″.
+func AllInteractionTriples(pairs [][2]int) [][3][2]int {
+	var out [][3][2]int
+	for i := 0; i < len(pairs); i++ {
+		for j := i + 1; j < len(pairs); j++ {
+			for k := j + 1; k < len(pairs); k++ {
+				out = append(out, [3][2]int{pairs[i], pairs[j], pairs[k]})
+			}
+		}
+	}
+	return out
+}
+
+// SigmoidToy samples n instances of the single-feature sigmoid function
+// used in Fig. 3: y = exp(50(x−0.5)) / (exp(50(x−0.5)) + 1) + ε.
+func SigmoidToy(n int, noiseSD float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		X:            make([][]float64, n),
+		Y:            make([]float64, n),
+		FeatureNames: []string{"x"},
+		Task:         Regression,
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		e := math.Exp(50 * (x - 0.5))
+		d.X[i] = []float64{x}
+		d.Y[i] = e/(e+1) + noiseSD*rng.NormFloat64()
+	}
+	return d
+}
+
+// Fig2Toy samples the two-feature additive toy of Fig. 2:
+// y = x₁ + sin(2π·x₂) + ε over [0,1]², a linear plus a sinusoidal
+// component.
+func Fig2Toy(n int, noiseSD float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		X:            make([][]float64, n),
+		Y:            make([]float64, n),
+		FeatureNames: []string{"x1", "x2"},
+		Task:         Regression,
+	}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		d.X[i] = []float64{x1, x2}
+		d.Y[i] = x1 + math.Sin(2*math.Pi*x2) + noiseSD*rng.NormFloat64()
+	}
+	return d
+}

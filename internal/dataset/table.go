@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// ColumnKind distinguishes numeric from categorical table columns.
+type ColumnKind int
+
+const (
+	// Numeric columns hold real values.
+	Numeric ColumnKind = iota
+	// Categorical columns hold level indices into Levels.
+	Categorical
+)
+
+// TableColumn is one column of a mixed-type table.
+type TableColumn struct {
+	Name   string
+	Kind   ColumnKind
+	Values []float64 // numeric values, or level indices for categorical
+	Levels []string  // level names, categorical only
+}
+
+// Table is a mixed numeric/categorical dataset prior to encoding, used to
+// model the Census dataset's raw form (the paper one-hot encodes the
+// categorical attributes before training).
+type Table struct {
+	Columns []TableColumn
+	Y       []float64
+	Task    Task
+}
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int { return len(t.Y) }
+
+// Validate checks that all columns have the same length as Y and that
+// categorical level indices are in range.
+func (t *Table) Validate() error {
+	n := len(t.Y)
+	for _, c := range t.Columns {
+		if len(c.Values) != n {
+			return fmt.Errorf("table: column %q has %d rows, want %d", c.Name, len(c.Values), n)
+		}
+		if c.Kind == Categorical {
+			if len(c.Levels) == 0 {
+				return fmt.Errorf("table: categorical column %q has no levels", c.Name)
+			}
+			for i, v := range c.Values {
+				idx := int(v)
+				if float64(idx) != v || idx < 0 || idx >= len(c.Levels) {
+					return fmt.Errorf("table: column %q row %d has invalid level %v", c.Name, i, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Drop returns a copy of the table without the named columns (the paper
+// drops the redundant education column from Census).
+func (t *Table) Drop(names ...string) *Table {
+	skip := make(map[string]bool, len(names))
+	for _, n := range names {
+		skip[n] = true
+	}
+	out := &Table{Y: t.Y, Task: t.Task}
+	for _, c := range t.Columns {
+		if !skip[c.Name] {
+			out.Columns = append(out.Columns, c)
+		}
+	}
+	return out
+}
+
+// OneHot expands categorical columns into 0/1 indicator features (one per
+// level, named "col=level") and passes numeric columns through, returning
+// a dense Dataset.
+func (t *Table) OneHot() *Dataset {
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("dataset: OneHot on invalid table: %v", err))
+	}
+	n := t.NumRows()
+	var names []string
+	type colSpec struct {
+		src   int // index into t.Columns
+		level int // level index, -1 for numeric pass-through
+	}
+	var specs []colSpec
+	for ci, c := range t.Columns {
+		if c.Kind == Numeric {
+			names = append(names, c.Name)
+			specs = append(specs, colSpec{src: ci, level: -1})
+			continue
+		}
+		for li, lv := range c.Levels {
+			names = append(names, c.Name+"="+lv)
+			specs = append(specs, colSpec{src: ci, level: li})
+		}
+	}
+	d := &Dataset{
+		X:            make([][]float64, n),
+		Y:            append([]float64(nil), t.Y...),
+		FeatureNames: names,
+		Task:         t.Task,
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(specs))
+		for j, s := range specs {
+			v := t.Columns[s.src].Values[i]
+			if s.level < 0 {
+				row[j] = v
+			} else if int(v) == s.level {
+				row[j] = 1
+			}
+		}
+		d.X[i] = row
+	}
+	return d
+}

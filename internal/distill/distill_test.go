@@ -1,0 +1,117 @@
+package distill
+
+import (
+	"strings"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gbdt"
+)
+
+func sourceForest(t *testing.T) *forest.Forest {
+	t.Helper()
+	ds := dataset.GPrime(3000, 0.1, 51)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 80, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	return f
+}
+
+func TestDistillFidelity(t *testing.T) {
+	f := sourceForest(t)
+	res, err := Distill(f, Config{MaxLeaves: 64, NumSamples: 10000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Distill: %v", err)
+	}
+	if len(res.Tree.Trees) != 1 {
+		t.Fatalf("surrogate has %d trees, want 1", len(res.Tree.Trees))
+	}
+	if res.Tree.Trees[0].NumLeaves() > 64 {
+		t.Errorf("surrogate has %d leaves, cap 64", res.Tree.Trees[0].NumLeaves())
+	}
+	// A 64-leaf tree can approximate a smooth 5-feature function only
+	// roughly; it must still clearly beat the mean predictor.
+	if res.R2 < 0.5 {
+		t.Errorf("surrogate R² = %v, want ≥ 0.5", res.R2)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Errorf("surrogate invalid: %v", err)
+	}
+}
+
+func TestDistillMoreLeavesMoreFidelity(t *testing.T) {
+	f := sourceForest(t)
+	small, err := Distill(f, Config{MaxLeaves: 8, NumSamples: 10000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Distill small: %v", err)
+	}
+	large, err := Distill(f, Config{MaxLeaves: 128, NumSamples: 10000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Distill large: %v", err)
+	}
+	if large.R2 <= small.R2 {
+		t.Errorf("128-leaf R² (%v) should beat 8-leaf R² (%v)", large.R2, small.R2)
+	}
+}
+
+func TestDistillRules(t *testing.T) {
+	f := sourceForest(t)
+	res, err := Distill(f, Config{MaxLeaves: 6, NumSamples: 5000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Distill: %v", err)
+	}
+	rules := res.Rules(f.FeatureName)
+	if len(rules) != res.Tree.Trees[0].NumLeaves() {
+		t.Fatalf("%d rules for %d leaves", len(rules), res.Tree.Trees[0].NumLeaves())
+	}
+	for _, r := range rules {
+		if !strings.Contains(r, "→") {
+			t.Errorf("rule missing consequent: %q", r)
+		}
+	}
+	// Deeper rules contain conjunctions.
+	found := false
+	for _, r := range rules {
+		if strings.Contains(r, " AND ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no conjunctive rule in a 6-leaf tree")
+	}
+}
+
+func TestDistillClassificationForest(t *testing.T) {
+	ds := dataset.CensusN(3000, 53)
+	f, err := gbdt.Train(ds, gbdt.Params{
+		NumTrees: 40, NumLeaves: 8, LearningRate: 0.2,
+		Objective: forest.BinaryLogistic, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	res, err := Distill(f, Config{MaxLeaves: 32, NumSamples: 8000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Distill: %v", err)
+	}
+	// Surrogate fits the forest's response scale (probabilities).
+	if res.R2 < 0.3 {
+		t.Errorf("probability surrogate R² = %v", res.R2)
+	}
+}
+
+func TestDistillErrors(t *testing.T) {
+	if _, err := Distill(&forest.Forest{NumFeatures: 0}, Config{}); err == nil {
+		t.Error("accepted invalid forest")
+	}
+	constant := &forest.Forest{
+		Trees:       []forest.Tree{{Nodes: []forest.Node{{Left: -1, Right: -1, Value: 1, Cover: 1}}}},
+		NumFeatures: 1,
+		Objective:   forest.Regression,
+	}
+	if _, err := Distill(constant, Config{}); err == nil {
+		t.Error("accepted splitless forest")
+	}
+}

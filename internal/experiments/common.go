@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gam"
+	"gef/internal/gbdt"
+)
+
+// sizes bundles every scale-dependent knob in one place.
+type sizes struct {
+	// Synthetic g′/g″ experiments (§4).
+	synthRows   int
+	synthTrees  int
+	synthLeaves int
+	synthLR     float64
+	dstarN      int // |D*|
+	fig5Ks      []int
+	fig4K       int
+	table2K     int
+	fig6Triples int // how many of the 120 interaction sets to evaluate
+	fig6Trees   int
+	hstatSample int
+	// Real-world experiments (§5).
+	superconRows   int
+	superconTrees  int
+	superconLeaves int
+	censusRows     int
+	censusTrees    int
+	fig7Splines    []int
+	fig7Inters     []int
+	fig8Ks         []int
+	fig9K          int
+	fig10K         int
+	realDstarN     int
+	lambdas        []float64
+	logitLambdas   []float64
+}
+
+func sizesFor(s Scale) sizes {
+	if s == Paper {
+		return sizes{
+			synthRows: 10000, synthTrees: 1000, synthLeaves: 32, synthLR: 0.01,
+			dstarN: 100000,
+			fig5Ks: []int{100, 500, 1000, 2000, 5000, 12000, 20000},
+			fig4K:  12000, table2K: 12000,
+			fig6Triples: 120, fig6Trees: 300, hstatSample: 150,
+			superconRows: dataset.SuperconductivityRows, superconTrees: 500, superconLeaves: 32,
+			censusRows: dataset.CensusRows, censusTrees: 300,
+			fig7Splines: []int{1, 2, 3, 4, 5, 6, 7, 8, 9},
+			fig7Inters:  []int{0, 1, 2, 3, 4, 5, 6, 7, 8},
+			fig8Ks:      []int{500, 1500, 4500, 9000, 15000},
+			fig9K:       4500, fig10K: 800,
+			realDstarN:   100000,
+			lambdas:      gam.LogSpace(1e-4, 1e6, 21),
+			logitLambdas: gam.LogSpace(1e-2, 1e4, 9),
+		}
+	}
+	return sizes{
+		synthRows: 4000, synthTrees: 120, synthLeaves: 16, synthLR: 0.1,
+		dstarN: 10000,
+		fig5Ks: []int{25, 50, 100, 200, 400},
+		fig4K:  300, table2K: 300,
+		fig6Triples: 12, fig6Trees: 60, hstatSample: 60,
+		superconRows: 4000, superconTrees: 80, superconLeaves: 16,
+		censusRows: 4000, censusTrees: 60,
+		fig7Splines: []int{1, 3, 5, 7, 9},
+		fig7Inters:  []int{0, 2, 4, 8},
+		fig8Ks:      []int{50, 150, 400},
+		fig9K:       300, fig10K: 60,
+		realDstarN:   8000,
+		lambdas:      gam.LogSpace(1e-2, 1e4, 9),
+		logitLambdas: gam.LogSpace(1e-1, 1e3, 5),
+	}
+}
+
+// forestCache memoizes trained forests within a process so running
+// several experiments (e.g. fig9 + fig11 + fig12) trains each black-box
+// model once.
+var forestCache sync.Map // key string → *forest.Forest
+
+func cachedForest(key string, train func() (*forest.Forest, error)) (*forest.Forest, error) {
+	if v, ok := forestCache.Load(key); ok {
+		return v.(*forest.Forest), nil
+	}
+	f, err := train()
+	if err != nil {
+		return nil, err
+	}
+	forestCache.Store(key, f)
+	return f, nil
+}
+
+// gprimeForest trains (or fetches) the forest over D′ at the given scale.
+// The paper's protocol: train/test split, 25% of train for early stopping.
+func gprimeForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset.Dataset, error) {
+	ds := dataset.GPrime(z.synthRows, 0.1, p.Seed+100)
+	train, test := ds.Split(0.2, p.Seed+101)
+	key := fmt.Sprintf("gprime/%s/%d", p.Scale, p.Seed)
+	f, err := cachedForest(key, func() (*forest.Forest, error) {
+		tr, va := train.Split(0.25, p.Seed+102)
+		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+			NumTrees: z.synthTrees, NumLeaves: z.synthLeaves, LearningRate: z.synthLR,
+			EarlyStoppingRounds: 30, Seed: p.Seed,
+		})
+		return f, err
+	})
+	return f, train, test, err
+}
+
+// gdoubleForest trains a forest over D″ for a given interaction set.
+func gdoubleForest(p Params, z sizes, pairs [][2]int, trees int) (*forest.Forest, *dataset.Dataset, *dataset.Dataset, error) {
+	ds := dataset.GDoublePrime(z.synthRows, 0.1, p.Seed+200, pairs)
+	train, test := ds.Split(0.2, p.Seed+201)
+	tr, va := train.Split(0.25, p.Seed+202)
+	f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+		NumTrees: trees, NumLeaves: z.synthLeaves, LearningRate: z.synthLR,
+		EarlyStoppingRounds: 30, Seed: p.Seed,
+	})
+	return f, train, test, err
+}
+
+// superconForest trains (or fetches) the Superconductivity forest.
+func superconForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset.Dataset, error) {
+	ds := dataset.SuperconductivityN(z.superconRows, p.Seed+300)
+	train, test := ds.Split(0.2, p.Seed+301)
+	key := fmt.Sprintf("supercon/%s/%d", p.Scale, p.Seed)
+	f, err := cachedForest(key, func() (*forest.Forest, error) {
+		tr, va := train.Split(0.25, p.Seed+302)
+		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+			NumTrees: z.superconTrees, NumLeaves: z.superconLeaves, LearningRate: 0.1,
+			EarlyStoppingRounds: 30, Seed: p.Seed,
+		})
+		return f, err
+	})
+	return f, train, test, err
+}
+
+// rfForest trains (or fetches) a Random Forest over D′ for the §6
+// future-work experiment.
+func rfForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset.Dataset, error) {
+	ds := dataset.GPrime(z.synthRows, 0.1, p.Seed+100)
+	train, test := ds.Split(0.2, p.Seed+101)
+	key := fmt.Sprintf("rf/%s/%d", p.Scale, p.Seed)
+	f, err := cachedForest(key, func() (*forest.Forest, error) {
+		return gbdt.TrainRF(train, gbdt.RFParams{
+			NumTrees: z.synthTrees / 2, NumLeaves: 64, FeatureFraction: 0.8, Seed: p.Seed,
+		})
+	})
+	return f, train, test, err
+}
+
+// censusForest trains (or fetches) the Census classification forest on
+// the one-hot encoded table (education dropped, per the paper).
+func censusForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset.Dataset, error) {
+	ds := dataset.CensusN(z.censusRows, p.Seed+400)
+	train, test := ds.Split(0.2, p.Seed+401)
+	key := fmt.Sprintf("census/%s/%d", p.Scale, p.Seed)
+	f, err := cachedForest(key, func() (*forest.Forest, error) {
+		tr, va := train.Split(0.25, p.Seed+402)
+		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+			NumTrees: z.censusTrees, NumLeaves: 16, LearningRate: 0.1,
+			Objective:           forest.BinaryLogistic,
+			EarlyStoppingRounds: 30, Seed: p.Seed,
+		})
+		return f, err
+	})
+	return f, train, test, err
+}

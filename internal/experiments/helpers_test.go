@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"RMSE by strategy and K": "rmse_by_strategy_and_k",
+		"s(x1) learned":          "s_x1__learned",
+		"Table 1":                "table_1",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f4(1.23456789) != "1.2346" {
+		t.Errorf("f4 = %q", f4(1.23456789))
+	}
+	if f3(0.9865) != "0.987" { // rounds like the paper's 3-decimal tables
+		t.Errorf("f3 = %q", f3(0.9865))
+	}
+	if itoa(42) != "42" {
+		t.Errorf("itoa = %q", itoa(42))
+	}
+	if ftoa(0.5) != "0.5" {
+		t.Errorf("ftoa = %q", ftoa(0.5))
+	}
+}
+
+func TestLinspaceHelpers(t *testing.T) {
+	v := linspace(2, 4, 3)
+	if len(v) != 3 || v[0] != 2 || v[1] != 3 || v[2] != 4 {
+		t.Errorf("linspace = %v", v)
+	}
+	single := linspace(0, 10, 1)
+	if len(single) != 1 || single[0] != 5 {
+		t.Errorf("linspace n=1 = %v", single)
+	}
+	s := sortedCopy([]float64{3, 1, 2})
+	if s[0] != 1 || s[2] != 3 {
+		t.Errorf("sortedCopy = %v", s)
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 5) != "ab   " {
+		t.Errorf("pad = %q", pad("ab", 5))
+	}
+	if pad("abcdef", 3) != "abcdef" {
+		t.Errorf("pad should not truncate: %q", pad("abcdef", 3))
+	}
+}
+
+func TestSizesForScales(t *testing.T) {
+	q := sizesFor(Quick)
+	p := sizesFor(Paper)
+	if p.synthTrees <= q.synthTrees || p.dstarN <= q.dstarN {
+		t.Error("paper scale should dominate quick scale")
+	}
+	if p.fig6Triples != 120 {
+		t.Errorf("paper must evaluate all 120 interaction sets, got %d", p.fig6Triples)
+	}
+	if p.dstarN != 100000 {
+		t.Errorf("paper |D*| = %d, want the paper's 100000", p.dstarN)
+	}
+	if p.fig4K != 12000 || p.fig9K != 4500 || p.fig10K != 800 {
+		t.Errorf("paper K settings diverge from the paper: %d/%d/%d", p.fig4K, p.fig9K, p.fig10K)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.Scale != Quick || p.Seed != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+}
+
+func TestCorrelationHelper(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := correlation(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("correlation(a,a) = %v", got)
+	}
+	if got := correlation(a, []float64{5, 5, 5}); got != 0 {
+		t.Errorf("correlation with constant = %v, want 0", got)
+	}
+}
+
+func TestSweepCacheReuse(t *testing.T) {
+	// fig6 and table1 share the expensive interaction sweep: after one
+	// runs, the cache must hold the (scale, seed) entry so the other
+	// reuses it (verified indirectly by identical AP populations).
+	p := Params{Scale: Quick, Seed: 77}
+	z := sizesFor(p.Scale)
+	z.fig6Triples = 2
+	z.fig6Trees = 20
+	z.synthRows = 800
+	z.hstatSample = 20
+	a1, used1, err := interactionSweep(p, z)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	a2, used2, err := interactionSweep(p, z)
+	if err != nil {
+		t.Fatalf("cached sweep: %v", err)
+	}
+	if used1 != used2 {
+		t.Fatalf("used %d vs %d", used1, used2)
+	}
+	for s, aps := range a1 {
+		for i := range aps {
+			if a2[s][i] != aps[i] {
+				t.Fatal("cache returned different APs")
+			}
+		}
+	}
+}
+
+func TestDistinctCountHelper(t *testing.T) {
+	if got := distinctCount([]float64{1, 1, 2, 3, 3}); got != 3 {
+		t.Errorf("distinctCount = %d, want 3", got)
+	}
+	if got := distinctCount(nil); got != 0 {
+		t.Errorf("distinctCount(nil) = %d", got)
+	}
+}

@@ -1,0 +1,475 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"gef/internal/core"
+	"gef/internal/featsel"
+	"gef/internal/gam"
+	"gef/internal/lime"
+	"gef/internal/sampling"
+	"gef/internal/shap"
+	"gef/internal/stats"
+)
+
+// RunFig7 reproduces Fig. 7: RMSE of the Superconductivity explainer over
+// the grid of univariate (|F′|) × bivariate (|F″|) component counts,
+// with All-Thresholds sampling and Count-Path interactions (the paper's
+// setting for this figure). D* is generated once over the maximal feature
+// set so that RMSE values are comparable across cells; each cell fits a
+// GAM restricted to its top-|F′| splines and top-|F″| tensor terms.
+func RunFig7(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, _, _, err := superconForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	maxSplines := z.fig7Splines[len(z.fig7Splines)-1]
+	features := featsel.TopFeatures(f, maxSplines)
+	domains, err := sampling.BuildDomains(f, features, sampling.Config{
+		Strategy: sampling.AllThresholds, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dstar := sampling.Generate(f, domains, z.realDstarN, p.Seed+11)
+	train, test := dstar.Split(0.2, p.Seed+12)
+	pairs, err := featsel.RankInteractions(f, features, featsel.CountPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	thresholds := f.ThresholdsByFeature()
+
+	r := &Report{ID: "fig7", Title: "Superconductivity: RMSE grid over |F'| × |F''|"}
+	tab := Table{Name: "RMSE heat grid", Header: []string{"splines \\ interactions"}}
+	for _, ni := range z.fig7Inters {
+		tab.Header = append(tab.Header, itoa(ni))
+	}
+	for _, ns := range z.fig7Splines {
+		row := []string{itoa(ns)}
+		for _, ni := range z.fig7Inters {
+			spec := gam.Spec{Link: gam.Identity}
+			inSel := map[int]bool{}
+			for _, feat := range features[:ns] {
+				inSel[feat] = true
+				kind := gam.Spline
+				if distinctCount(thresholds[feat]) < 10 {
+					kind = gam.Factor
+				}
+				spec.Terms = append(spec.Terms, gam.TermSpec{Kind: kind, Feature: feat})
+			}
+			added := 0
+			for _, pr := range pairs {
+				if added == ni {
+					break
+				}
+				if inSel[pr.I] && inSel[pr.J] { // heredity within the current F′
+					spec.Terms = append(spec.Terms, gam.TermSpec{
+						Kind: gam.Tensor, Feature: pr.I, Feature2: pr.J,
+					})
+					added++
+				}
+			}
+			if ni > 0 && added < ni {
+				row = append(row, "-") // not enough candidate pairs at this |F′|
+				continue
+			}
+			m, err := gam.Fit(spec, train.X, train.Y, gam.Options{Lambdas: z.lambdas})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(stats.RMSE(m.PredictBatch(test.X), test.Y)))
+		}
+		tab.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Notes = append(r.Notes,
+		"paper finding: 7 splines reach within ≈5% of the best; adding 8 interactions improves ≈2% more")
+	return r, nil
+}
+
+func distinctCount(sorted []float64) int {
+	c := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			c++
+		}
+	}
+	return c
+}
+
+// RunFig8 reproduces Fig. 8: Superconductivity RMSE for each sampling
+// strategy as K varies, at 7 splines / 0 interactions.
+func RunFig8(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, _, _, err := superconForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig8", Title: "Superconductivity: RMSE vs K per sampling strategy"}
+	tab := Table{Name: "RMSE by strategy and K", Header: []string{"strategy", "K", "RMSE", "fidelity R²"}}
+
+	base, err := core.Explain(f, core.Config{
+		NumUnivariate: 7, NumSamples: z.realDstarN,
+		Sampling: sampling.Config{Strategy: sampling.AllThresholds},
+		GAM:      gam.Options{Lambdas: z.lambdas},
+		Seed:     p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow(string(sampling.AllThresholds), "-", f4(base.Fidelity.RMSE), f4(base.Fidelity.R2))
+
+	for _, s := range []sampling.Strategy{sampling.KQuantile, sampling.EquiWidth, sampling.KMeans, sampling.EquiSize} {
+		var xs, ys []float64
+		for _, k := range z.fig8Ks {
+			e, err := core.Explain(f, core.Config{
+				NumUnivariate: 7, NumSamples: z.realDstarN,
+				Sampling: sampling.Config{Strategy: s, K: k},
+				GAM:      gam.Options{Lambdas: z.lambdas},
+				Seed:     p.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(string(s), itoa(k), f4(e.Fidelity.RMSE), f4(e.Fidelity.R2))
+			xs = append(xs, float64(k))
+			ys = append(ys, e.Fidelity.RMSE)
+		}
+		r.Series = append(r.Series, Series{Name: "rmse " + string(s), X: xs, Y: ys})
+	}
+	r.Tables = append(r.Tables, tab)
+	return r, nil
+}
+
+// superconExplanation builds the fixed Fig. 9/11 configuration: 7
+// splines, 0 interactions, Equi-Size sampling with the scale's K.
+func superconExplanation(p Params, z sizes) (*core.Explanation, [][]float64, error) {
+	f, train, _, err := superconForest(p, z)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := core.Explain(f, core.Config{
+		NumUnivariate: 7, NumSamples: z.realDstarN,
+		Sampling: sampling.Config{Strategy: sampling.EquiSize, K: z.fig9K},
+		GAM:      gam.Options{Lambdas: z.lambdas},
+		Seed:     p.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sample := train.X
+	if len(sample) > 200 {
+		sample = sample[:200]
+	}
+	return e, sample, nil
+}
+
+// RunFig9 reproduces Fig. 9: the top Superconductivity GEF splines (with
+// 95% CIs) next to the SHAP dependence scatter of the same features.
+func RunFig9(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	e, sample, err := superconExplanation(p, z)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig9", Title: "Superconductivity: GEF splines vs SHAP dependence"}
+	r.Notes = append(r.Notes, fmt.Sprintf("fidelity: RMSE %.4f, R² %.4f", e.Fidelity.RMSE, e.Fidelity.R2))
+	tab := Table{Name: "top splines", Header: []string{"rank", "feature", "curve range", "max |CI half-width|"}}
+	top := e.Features
+	if len(top) > 4 {
+		top = top[:4]
+	}
+	for rank, feat := range top {
+		ti := termIndexForFeature(e.Model, feat)
+		if ti < 0 {
+			continue
+		}
+		lo, hi := e.Model.TermRange(ti)
+		grid := linspace(lo, hi, 41)
+		c, err := e.Model.TermCurve(ti, grid, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		name := e.Forest.FeatureName(feat)
+		var maxSE float64
+		for _, se := range c.SE {
+			if se > maxSE {
+				maxSE = se
+			}
+		}
+		tab.AddRow(itoa(rank+1), name,
+			fmt.Sprintf("[%.3f, %.3f]", stats.Min(c.Y), stats.Max(c.Y)),
+			f4(1.96*maxSE))
+		r.Series = append(r.Series,
+			Series{Name: "gef " + name, X: grid, Y: c.Y},
+			Series{Name: "gef " + name + " lower", X: grid, Y: c.Lower},
+			Series{Name: "gef " + name + " upper", X: grid, Y: c.Upper},
+		)
+		// SHAP dependence scatter of the same feature over the original
+		// data sample (the paper's right-hand panels).
+		xs, phis := shap.DependenceSeries(e.Forest, sample, feat)
+		r.Series = append(r.Series, Series{Name: "shap " + name, X: xs, Y: phis})
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Consistency check the paper argues qualitatively: the GEF spline and
+	// the SHAP dependence trend of the top feature must correlate.
+	if len(top) > 0 {
+		feat := top[0]
+		ti := termIndexForFeature(e.Model, feat)
+		xs, phis := shap.DependenceSeries(e.Forest, sample, feat)
+		var gefAt []float64
+		x := make([]float64, e.Forest.NumFeatures)
+		for i := range xs {
+			x[feat] = xs[i]
+			gefAt = append(gefAt, e.Model.TermValue(ti, x))
+		}
+		r.Notes = append(r.Notes, fmt.Sprintf("GEF-vs-SHAP correlation on top feature %s: %.3f",
+			e.Forest.FeatureName(feat), correlation(gefAt, phis)))
+	}
+	return r, nil
+}
+
+// RunFig10 reproduces Fig. 10: the Census explainer (5 splines + 1
+// interaction, K-Quantile sampling, logit link) and its SHAP comparison.
+func RunFig10(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, train, test, err := censusForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.Explain(f, core.Config{
+		NumUnivariate:       5,
+		NumInteractions:     1,
+		InteractionStrategy: featsel.CountPath,
+		NumSamples:          z.realDstarN,
+		Sampling:            sampling.Config{Strategy: sampling.KQuantile, K: z.fig10K},
+		GAM:                 gam.Options{Lambdas: z.logitLambdas},
+		Seed:                p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig10", Title: "Census: GEF splines vs SHAP dependence"}
+	r.Notes = append(r.Notes, fmt.Sprintf("fidelity on D*: RMSE %.4f, R² %.4f", e.Fidelity.RMSE, e.Fidelity.R2))
+
+	// Probability-scale agreement on original data.
+	gp := e.Model.PredictBatch(test.X)
+	fp := f.PredictBatch(test.X)
+	r.Notes = append(r.Notes, fmt.Sprintf("probability agreement on original test data: RMSE %.4f", stats.RMSE(gp, fp)))
+
+	sample := train.X
+	if len(sample) > 150 {
+		sample = sample[:150]
+	}
+	tab := Table{Name: "top terms", Header: []string{"rank", "term", "kind", "contribution range (log-odds)"}}
+	for rank, feat := range e.Features {
+		if rank >= 4 {
+			break
+		}
+		ti := termIndexForFeature(e.Model, feat)
+		if ti < 0 {
+			continue
+		}
+		name := f.FeatureName(feat)
+		spec := e.Model.Term(ti)
+		var grid []float64
+		if spec.Kind == gam.Factor {
+			grid = e.Model.FactorTermLevels(ti)
+		} else {
+			lo, hi := e.Model.TermRange(ti)
+			grid = linspace(lo, hi, 31)
+		}
+		c, err := e.Model.TermCurve(ti, grid, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(itoa(rank+1), name, string(spec.Kind),
+			fmt.Sprintf("[%.3f, %.3f]", stats.Min(c.Y), stats.Max(c.Y)))
+		r.Series = append(r.Series, Series{Name: "gef " + name, X: grid, Y: c.Y})
+		xs, phis := shap.DependenceSeries(f, sample, feat)
+		r.Series = append(r.Series, Series{Name: "shap " + name, X: xs, Y: phis})
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// The paper's qualitative check: EducationNum positively correlated
+	// with the output.
+	eduFeat := -1
+	for j := 0; j < f.NumFeatures; j++ {
+		if f.FeatureName(j) == "education-num" {
+			eduFeat = j
+		}
+	}
+	if eduFeat >= 0 {
+		if ti := termIndexForFeature(e.Model, eduFeat); ti >= 0 {
+			lo, hi := e.Model.TermRange(ti)
+			x := make([]float64, f.NumFeatures)
+			x[eduFeat] = lo
+			vLo := e.Model.TermValue(ti, x)
+			x[eduFeat] = hi
+			vHi := e.Model.TermValue(ti, x)
+			r.Notes = append(r.Notes, fmt.Sprintf("education-num contribution: %.3f at %.0f → %.3f at %.0f (positive trend expected)",
+				vLo, lo, vHi, hi))
+		} else {
+			r.Notes = append(r.Notes, "education-num not among the selected features at this scale")
+		}
+	}
+	if len(e.Pairs) > 0 {
+		pr := e.Pairs[0]
+		r.Notes = append(r.Notes, fmt.Sprintf("selected interaction: (%s, %s)",
+			f.FeatureName(pr.I), f.FeatureName(pr.J)))
+	}
+	return r, nil
+}
+
+// fig11Sample returns the fixed instance the local-explanation figures
+// (11–13) all explain: the first test-sample row of the Superconductivity
+// data.
+func fig11Sample(p Params, z sizes) ([]float64, error) {
+	_, _, test, err := superconForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	return test.X[0], nil
+}
+
+// RunFig11 reproduces Fig. 11: the GEF local explanation of one sample —
+// per-term contributions plus a zoomed spline window around the
+// instance's feature values.
+func RunFig11(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	e, _, err := superconExplanation(p, z)
+	if err != nil {
+		return nil, err
+	}
+	x, err := fig11Sample(p, z)
+	if err != nil {
+		return nil, err
+	}
+	le := e.ExplainInstance(x)
+	r := &Report{ID: "fig11", Title: "Superconductivity: local GEF explanation"}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("forest output %.3f, GAM output %.3f, intercept %.3f",
+			le.ForestOutput, le.GamPrediction, le.Intercept))
+	tab := Table{Name: "per-term contributions", Header: []string{"term", "feature value", "contribution", "vs average"}}
+	for _, c := range le.Contributions {
+		name := e.Forest.FeatureName(c.Spec.Feature)
+		direction := "above"
+		if c.Value < 0 {
+			direction = "below"
+		}
+		tab.AddRow(name, f4(x[c.Spec.Feature]), f4(c.Value), direction)
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Zoomed spline windows: ±10% of the term range around the instance
+	// value (the paper's "zoom-in on the spline" view).
+	for _, c := range le.Contributions {
+		ti := c.Term
+		if c.Spec.Kind != gam.Spline {
+			continue
+		}
+		lo, hi := e.Model.TermRange(ti)
+		span := (hi - lo) * 0.1
+		v := x[c.Spec.Feature]
+		g := linspace(math.Max(lo, v-span), math.Min(hi, v+span), 21)
+		curve, err := e.Model.TermCurve(ti, g, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, Series{
+			Name: "zoom " + e.Forest.FeatureName(c.Spec.Feature), X: g, Y: curve.Y,
+		})
+	}
+	return r, nil
+}
+
+// RunFig12 reproduces Fig. 12: the SHAP local explanation (waterfall) of
+// the same sample.
+func RunFig12(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, _, _, err := superconForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	x, err := fig11Sample(p, z)
+	if err != nil {
+		return nil, err
+	}
+	phi, base := shap.Values(f, x)
+	r := &Report{ID: "fig12", Title: "Superconductivity: local SHAP explanation"}
+	r.Notes = append(r.Notes, fmt.Sprintf("E[f(X)] = %.3f, f(x) = %.3f", base, f.RawPredict(x)))
+	tab := Table{Name: "SHAP waterfall (top 8)", Header: []string{"feature", "value", "φ", "sign"}}
+	for _, a := range shap.TopAttributions(phi, 8) {
+		sign := "+"
+		if a.Value < 0 {
+			sign = "-"
+		}
+		tab.AddRow(f.FeatureName(a.Feature), f4(x[a.Feature]), f4(a.Value), sign)
+	}
+	r.Tables = append(r.Tables, tab)
+	return r, nil
+}
+
+// RunFig13 reproduces Fig. 13: the LIME local explanation of the same
+// sample with the reference defaults.
+func RunFig13(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, train, _, err := superconForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	x, err := fig11Sample(p, z)
+	if err != nil {
+		return nil, err
+	}
+	bg := train.X
+	if len(bg) > 500 {
+		bg = bg[:500]
+	}
+	nsamp := 5000
+	if p.Scale == Quick {
+		nsamp = 1000
+	}
+	le, err := lime.Explain(f.Predict, bg, x, lime.Config{NumSamples: nsamp, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "fig13", Title: "Superconductivity: local LIME explanation"}
+	r.Notes = append(r.Notes, fmt.Sprintf("local surrogate R² = %.3f", le.R2))
+	tab := Table{Name: "LIME weights (top 8)", Header: []string{"feature", "value", "weight", "sign"}}
+	for _, fw := range le.Top(8) {
+		sign := "+"
+		if fw.Weight < 0 {
+			sign = "-"
+		}
+		tab.AddRow(f.FeatureName(fw.Feature), f4(x[fw.Feature]), f4(fw.Weight), sign)
+	}
+	r.Tables = append(r.Tables, tab)
+	return r, nil
+}
+
+// correlation returns the Pearson correlation of two equal-length series.
+func correlation(a, b []float64) float64 {
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,180 @@
+// Package featsel implements §3.2 and §3.4 of the paper: selecting the
+// univariate components F′ by accumulated split gain, and ranking
+// candidate feature interactions F″ with four strategies of increasing
+// cost — Pair-Gain, Count-Path, Gain-Path and H-Stat.
+package featsel
+
+import (
+	"fmt"
+	"sort"
+
+	"gef/internal/forest"
+	"gef/internal/pdp"
+)
+
+// TopFeatures returns the k features with the largest accumulated loss
+// reduction across the forest's split nodes, in decreasing importance
+// order (ties broken by feature index). If fewer than k features occur in
+// the forest, all occurring features are returned.
+func TopFeatures(f *forest.Forest, k int) []int {
+	imp := f.GainImportance()
+	used := f.UsedFeatures()
+	sort.SliceStable(used, func(a, b int) bool {
+		if imp[used[a]] != imp[used[b]] {
+			return imp[used[a]] > imp[used[b]]
+		}
+		return used[a] < used[b]
+	})
+	if k > len(used) {
+		k = len(used)
+	}
+	return append([]int(nil), used[:k]...)
+}
+
+// InteractionStrategy identifies one of the paper's four pair-ranking
+// heuristics.
+type InteractionStrategy string
+
+const (
+	// PairGain scores a pair as the sum of the two features' univariate
+	// gains — the paper's cheapest baseline.
+	PairGain InteractionStrategy = "pair-gain"
+	// CountPath counts, over all trees, ancestor–descendant node pairs
+	// whose features are the pair (i.e. decision paths containing both).
+	CountPath InteractionStrategy = "count-path"
+	// GainPath is CountPath weighted by the minimum of the two nodes'
+	// gains.
+	GainPath InteractionStrategy = "gain-path"
+	// HStat ranks pairs by Friedman's H-statistic computed on a data
+	// sample — the most accurate and most expensive strategy.
+	HStat InteractionStrategy = "h-stat"
+)
+
+// InteractionStrategies lists all strategies in the paper's cost order.
+var InteractionStrategies = []InteractionStrategy{PairGain, CountPath, GainPath, HStat}
+
+// Pair is a scored unordered feature pair with I < J.
+type Pair struct {
+	I, J  int
+	Score float64
+}
+
+// key normalizes an unordered pair.
+func key(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// RankInteractions scores every unordered pair of the selected features
+// (the heredity principle: only main-effect features are candidates) and
+// returns them sorted by decreasing score, ties broken lexicographically.
+// The sample argument is required only by HStat, which evaluates partial
+// dependence over it; other strategies ignore it.
+func RankInteractions(f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64) ([]Pair, error) {
+	if len(selected) < 2 {
+		return nil, fmt.Errorf("featsel: need ≥ 2 selected features, got %d", len(selected))
+	}
+	inSel := make(map[int]bool, len(selected))
+	for _, s := range selected {
+		inSel[s] = true
+	}
+	scores := make(map[[2]int]float64)
+	switch strategy {
+	case PairGain:
+		imp := f.GainImportance()
+		forEachPair(selected, func(a, b int) {
+			scores[key(a, b)] = imp[a] + imp[b]
+		})
+	case CountPath:
+		accumulatePathScores(f, inSel, scores, func(gainAncestor, gainDescendant float64) float64 { return 1 })
+	case GainPath:
+		accumulatePathScores(f, inSel, scores, func(gainAncestor, gainDescendant float64) float64 {
+			if gainAncestor < gainDescendant {
+				return gainAncestor
+			}
+			return gainDescendant
+		})
+	case HStat:
+		if len(sample) == 0 {
+			return nil, fmt.Errorf("featsel: H-Stat requires a non-empty sample")
+		}
+		forEachPair(selected, func(a, b int) {
+			scores[key(a, b)] = pdp.HStatistic(f, sample, a, b)
+		})
+	default:
+		return nil, fmt.Errorf("featsel: unknown interaction strategy %q", strategy)
+	}
+
+	var pairs []Pair
+	forEachPair(selected, func(a, b int) {
+		k := key(a, b)
+		pairs = append(pairs, Pair{I: k[0], J: k[1], Score: scores[k]})
+	})
+	sort.SliceStable(pairs, func(x, y int) bool {
+		if pairs[x].Score != pairs[y].Score {
+			return pairs[x].Score > pairs[y].Score
+		}
+		if pairs[x].I != pairs[y].I {
+			return pairs[x].I < pairs[y].I
+		}
+		return pairs[x].J < pairs[y].J
+	})
+	return pairs, nil
+}
+
+// TopPairs returns the k highest-ranked interactions.
+func TopPairs(f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64, k int) ([]Pair, error) {
+	pairs, err := RankInteractions(f, selected, strategy, sample)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	return pairs[:k], nil
+}
+
+func forEachPair(selected []int, fn func(a, b int)) {
+	for i := 0; i < len(selected); i++ {
+		for j := i + 1; j < len(selected); j++ {
+			fn(selected[i], selected[j])
+		}
+	}
+}
+
+// accumulatePathScores walks every tree with an explicit ancestor stack:
+// for each internal node d and each ancestor a on its path, the unordered
+// feature pair (f_a, f_d) — when the features differ and both are
+// selected — receives weight(gain_a, gain_d). This realizes the paper's
+// recursive Count-Path/Gain-Path definition (§3.4).
+func accumulatePathScores(f *forest.Forest, inSel map[int]bool, scores map[[2]int]float64, weight func(ga, gd float64) float64) {
+	type stackEntry struct {
+		feature int
+		gain    float64
+	}
+	for ti := range f.Trees {
+		t := &f.Trees[ti]
+		var stack []stackEntry
+		var walk func(i int)
+		walk = func(i int) {
+			n := &t.Nodes[i]
+			if n.IsLeaf() {
+				return
+			}
+			if inSel[n.Feature] {
+				for _, a := range stack {
+					if a.feature != n.Feature && inSel[a.feature] {
+						scores[key(a.feature, n.Feature)] += weight(a.gain, n.Gain)
+					}
+				}
+			}
+			stack = append(stack, stackEntry{feature: n.Feature, gain: n.Gain})
+			walk(n.Left)
+			walk(n.Right)
+			stack = stack[:len(stack)-1]
+		}
+		walk(0)
+	}
+}

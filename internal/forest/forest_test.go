@@ -1,0 +1,277 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stumpForest builds a forest with a single depth-1 tree splitting on
+// feature 0 at threshold 0.5 with leaf values lo (left) and hi (right).
+func stumpForest(lo, hi float64) *Forest {
+	return &Forest{
+		Trees: []Tree{{Nodes: []Node{
+			{Feature: 0, Threshold: 0.5, Left: 1, Right: 2, Gain: 1, Cover: 10},
+			{Left: -1, Right: -1, Value: lo, Cover: 6},
+			{Left: -1, Right: -1, Value: hi, Cover: 4},
+		}}},
+		NumFeatures: 1,
+		Objective:   Regression,
+	}
+}
+
+// twoTreeForest is a 2-feature forest with two depth-2 trees used across
+// the structural tests.
+func twoTreeForest() *Forest {
+	t1 := Tree{Nodes: []Node{
+		{Feature: 0, Threshold: 0.5, Left: 1, Right: 2, Gain: 4, Cover: 100},
+		{Feature: 1, Threshold: 0.3, Left: 3, Right: 4, Gain: 2, Cover: 60},
+		{Left: -1, Right: -1, Value: 3, Cover: 40},
+		{Left: -1, Right: -1, Value: 1, Cover: 30},
+		{Left: -1, Right: -1, Value: 2, Cover: 30},
+	}}
+	t2 := Tree{Nodes: []Node{
+		{Feature: 1, Threshold: 0.7, Left: 1, Right: 2, Gain: 3, Cover: 100},
+		{Left: -1, Right: -1, Value: -1, Cover: 70},
+		{Left: -1, Right: -1, Value: 1, Cover: 30},
+	}}
+	return &Forest{
+		Trees:       []Tree{t1, t2},
+		NumFeatures: 2,
+		BaseScore:   0.5,
+		Objective:   Regression,
+	}
+}
+
+func TestTreePredict(t *testing.T) {
+	f := twoTreeForest()
+	tr := &f.Trees[0]
+	cases := []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{0.4, 0.2}, 1}, // left, left
+		{[]float64{0.4, 0.4}, 2}, // left, right
+		{[]float64{0.6, 0.0}, 3}, // right
+		{[]float64{0.5, 0.3}, 1}, // boundary: x ≤ v goes left
+	}
+	for _, c := range cases {
+		if got := tr.Predict(c.x); got != c.want {
+			t.Errorf("Predict(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestForestRawPredictAdds(t *testing.T) {
+	f := twoTreeForest()
+	x := []float64{0.4, 0.2}
+	// tree1 → 1, tree2 (x2=0.2 ≤ 0.7) → -1, base 0.5.
+	if got := f.RawPredict(x); got != 0.5 {
+		t.Errorf("RawPredict = %v, want 0.5", got)
+	}
+}
+
+func TestPredictLogisticAppliesSigmoid(t *testing.T) {
+	f := stumpForest(-2, 2)
+	f.Objective = BinaryLogistic
+	got := f.Predict([]float64{0})
+	want := Sigmoid(-2)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(100); got <= 0.999 {
+		t.Errorf("Sigmoid(100) = %v, want ≈ 1", got)
+	}
+	if got := Sigmoid(-100); got >= 0.001 {
+		t.Errorf("Sigmoid(-100) = %v, want ≈ 0", got)
+	}
+	// Symmetry property: σ(z) + σ(−z) = 1.
+	for _, z := range []float64{-5, -1, 0.3, 2, 700, -700} {
+		if s := Sigmoid(z) + Sigmoid(-z); math.Abs(s-1) > 1e-12 {
+			t.Errorf("σ(%v)+σ(−%v) = %v, want 1", z, z, s)
+		}
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	f := twoTreeForest()
+	xs := [][]float64{{0.4, 0.2}, {0.6, 0.9}}
+	got := f.PredictBatch(xs)
+	for i, x := range xs {
+		if got[i] != f.Predict(x) {
+			t.Errorf("batch[%d] = %v, want %v", i, got[i], f.Predict(x))
+		}
+	}
+	raw := f.RawPredictBatch(xs)
+	for i, x := range xs {
+		if raw[i] != f.RawPredict(x) {
+			t.Errorf("rawbatch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestThresholdsByFeature(t *testing.T) {
+	f := twoTreeForest()
+	th := f.ThresholdsByFeature()
+	if len(th[0]) != 1 || th[0][0] != 0.5 {
+		t.Errorf("feature 0 thresholds = %v, want [0.5]", th[0])
+	}
+	if len(th[1]) != 2 || th[1][0] != 0.3 || th[1][1] != 0.7 {
+		t.Errorf("feature 1 thresholds = %v, want [0.3 0.7]", th[1])
+	}
+}
+
+func TestThresholdsPreserveDuplicates(t *testing.T) {
+	f := stumpForest(0, 1)
+	f.Trees = append(f.Trees, f.Trees[0]) // same threshold twice
+	th := f.ThresholdsByFeature()
+	if len(th[0]) != 2 {
+		t.Errorf("duplicate thresholds collapsed: %v", th[0])
+	}
+}
+
+func TestUsedFeatures(t *testing.T) {
+	f := twoTreeForest()
+	used := f.UsedFeatures()
+	if len(used) != 2 || used[0] != 0 || used[1] != 1 {
+		t.Errorf("UsedFeatures = %v, want [0 1]", used)
+	}
+}
+
+func TestGainImportance(t *testing.T) {
+	f := twoTreeForest()
+	imp := f.GainImportance()
+	if imp[0] != 4 {
+		t.Errorf("importance f0 = %v, want 4", imp[0])
+	}
+	if imp[1] != 5 { // 2 + 3
+		t.Errorf("importance f1 = %v, want 5", imp[1])
+	}
+}
+
+func TestSplitImportance(t *testing.T) {
+	f := twoTreeForest()
+	imp := f.SplitImportance()
+	if imp[0] != 1 || imp[1] != 2 {
+		t.Errorf("SplitImportance = %v, want [1 2]", imp)
+	}
+	// Split counts and threshold counts agree by construction.
+	th := f.ThresholdsByFeature()
+	for j, c := range imp {
+		if len(th[j]) != c {
+			t.Errorf("feature %d: %d splits but %d thresholds", j, c, len(th[j]))
+		}
+	}
+}
+
+func TestNumLeavesAndDepth(t *testing.T) {
+	f := twoTreeForest()
+	if got := f.Trees[0].NumLeaves(); got != 3 {
+		t.Errorf("NumLeaves = %d, want 3", got)
+	}
+	if got := f.Trees[0].Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+	if got := f.Trees[1].Depth(); got != 1 {
+		t.Errorf("Depth = %d, want 1", got)
+	}
+	if got := f.NumNodes(); got != 8 {
+		t.Errorf("NumNodes = %d, want 8", got)
+	}
+}
+
+func TestFeatureName(t *testing.T) {
+	f := twoTreeForest()
+	if got := f.FeatureName(0); got != "f0" {
+		t.Errorf("default name = %q, want f0", got)
+	}
+	f.FeatureNames = []string{"age", "income"}
+	if got := f.FeatureName(1); got != "income" {
+		t.Errorf("named = %q, want income", got)
+	}
+	if got := f.FeatureName(9); got != "f9" {
+		t.Errorf("out of range = %q, want f9", got)
+	}
+}
+
+func TestValidateAcceptsGoodForest(t *testing.T) {
+	if err := twoTreeForest().Validate(); err != nil {
+		t.Errorf("Validate = %v, want nil", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mk := twoTreeForest
+	cases := []struct {
+		name   string
+		mutate func(f *Forest)
+	}{
+		{"zero features", func(f *Forest) { f.NumFeatures = 0 }},
+		{"bad objective", func(f *Forest) { f.Objective = "multiclass" }},
+		{"empty tree", func(f *Forest) { f.Trees[0].Nodes = nil }},
+		{"child out of range", func(f *Forest) { f.Trees[0].Nodes[0].Left = 99 }},
+		{"cycle", func(f *Forest) { f.Trees[0].Nodes[1].Left = 0; f.Trees[0].Nodes[1].Right = 0 }},
+		{"feature out of range", func(f *Forest) { f.Trees[0].Nodes[0].Feature = 5 }},
+		{"NaN threshold", func(f *Forest) { f.Trees[0].Nodes[0].Threshold = math.NaN() }},
+		{"half leaf", func(f *Forest) { f.Trees[0].Nodes[0].Left = -1 }},
+		{"unreachable node", func(f *Forest) {
+			f.Trees[1].Nodes = append(f.Trees[1].Nodes, Node{Left: -1, Right: -1})
+		}},
+	}
+	for _, c := range cases {
+		f := mk()
+		c.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid forest", c.name)
+		}
+	}
+}
+
+// Property: raw prediction equals the sum over trees of the reached leaf
+// values plus the base score, for random inputs.
+func TestRawPredictDecompositionProperty(t *testing.T) {
+	f := twoTreeForest()
+	prop := func(a, b float64) bool {
+		x := []float64{math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)}
+		var sum float64 = f.BaseScore
+		for i := range f.Trees {
+			sum += f.Trees[i].Predict(x)
+		}
+		return sum == f.RawPredict(x)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predictions are piecewise constant — for inputs in the same
+// leaf cell, predictions are identical.
+func TestPiecewiseConstantProperty(t *testing.T) {
+	f := twoTreeForest()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		// Sample two points in the same cell of the partition induced by
+		// thresholds {0.5} × {0.3, 0.7}.
+		cellX := r.Intn(2)
+		cellY := r.Intn(3)
+		sample := func() []float64 {
+			xs := [][2]float64{{0, 0.5}, {0.500001, 1}}[cellX]
+			ys := [][2]float64{{0, 0.3}, {0.300001, 0.7}, {0.700001, 1}}[cellY]
+			return []float64{
+				xs[0] + r.Float64()*(xs[1]-xs[0]),
+				ys[0] + r.Float64()*(ys[1]-ys[0]),
+			}
+		}
+		a, b := sample(), sample()
+		if f.RawPredict(a) != f.RawPredict(b) {
+			t.Fatalf("same-cell predictions differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package forest
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := twoTreeForest()
+	f.FeatureNames = []string{"a", "b"}
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.NumFeatures != f.NumFeatures || g.BaseScore != f.BaseScore || g.Objective != f.Objective {
+		t.Errorf("metadata mismatch: %+v vs %+v", g, f)
+	}
+	if len(g.Trees) != len(f.Trees) {
+		t.Fatalf("tree count %d, want %d", len(g.Trees), len(f.Trees))
+	}
+	// Predictions must survive the round trip bit-for-bit.
+	for _, x := range [][]float64{{0.1, 0.1}, {0.9, 0.9}, {0.5, 0.5}} {
+		if g.RawPredict(x) != f.RawPredict(x) {
+			t.Errorf("prediction changed after round trip at %v", x)
+		}
+	}
+	if g.FeatureNames[1] != "b" {
+		t.Errorf("feature names lost: %v", g.FeatureNames)
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	f := twoTreeForest()
+	f.NumFeatures = 0
+	if _, err := Marshal(f); err == nil {
+		t.Error("Marshal accepted invalid forest")
+	}
+}
+
+func TestUnmarshalRejectsBadVersion(t *testing.T) {
+	f := twoTreeForest()
+	data, err := Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	bad := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":99`), 1)
+	if _, err := Unmarshal(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("expected version error, got %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("Unmarshal accepted garbage")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1}`)); err == nil {
+		t.Error("Unmarshal accepted missing forest")
+	}
+	if _, err := Unmarshal([]byte(`{"version":1,"forest":{"num_features":0}}`)); err == nil {
+		t.Error("Unmarshal accepted invalid forest")
+	}
+}
+
+func TestWriteToReadFrom(t *testing.T) {
+	f := twoTreeForest()
+	var buf bytes.Buffer
+	if err := WriteTo(f, &buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if g.NumNodes() != f.NumNodes() {
+		t.Errorf("NumNodes %d, want %d", g.NumNodes(), f.NumNodes())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f := twoTreeForest()
+	path := filepath.Join(t.TempDir(), "forest.json")
+	if err := SaveFile(f, path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if g.RawPredict([]float64{0.2, 0.2}) != f.RawPredict([]float64{0.2, 0.2}) {
+		t.Error("prediction changed after file round trip")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadFile accepted missing file")
+	}
+}

@@ -1,0 +1,187 @@
+// Package gam implements the explanation model of the GEF framework
+// (§3.1, §3.5): a Generalized Additive Model with penalized cubic
+// B-spline (P-spline) univariate terms, factor terms for categorical
+// features, and tensor-product interaction terms. Smoothing is controlled
+// by a single penalty coefficient λ shared across terms (as the paper
+// prescribes) chosen by Generalized Cross Validation; identity and logit
+// links cover regression and classification forests. Fitted terms expose
+// their curves with Bayesian credible intervals in the sense of Wood
+// (2006).
+package gam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gef/internal/linalg"
+)
+
+// degree of the splines: cubic, so derivatives are continuous up to
+// order 2 as in the paper's definition.
+const degree = 3
+
+// bspline is a uniform cubic B-spline basis of m functions over [lo, hi].
+type bspline struct {
+	m     int
+	lo    float64
+	hi    float64
+	knots []float64 // m+degree+1 uniform knots, knots[degree] = lo
+}
+
+// newBSpline builds a uniform cubic B-spline basis with m ≥ 4 functions
+// whose m−degree interior segments cover [lo, hi].
+func newBSpline(m int, lo, hi float64) (*bspline, error) {
+	if m < degree+1 {
+		return nil, fmt.Errorf("gam: need ≥ %d basis functions, got %d", degree+1, m)
+	}
+	if !(hi > lo) {
+		// Degenerate feature (single observed value): widen artificially
+		// so the basis stays well defined.
+		span := math.Max(1, math.Abs(lo)) * 1e-3
+		lo, hi = lo-span, lo+span
+	}
+	h := (hi - lo) / float64(m-degree)
+	knots := make([]float64, m+degree+1)
+	for i := range knots {
+		knots[i] = lo + float64(i-degree)*h
+	}
+	return &bspline{m: m, lo: lo, hi: hi, knots: knots}, nil
+}
+
+// evaluate computes the degree+1 non-zero basis values at x, clamped into
+// [lo, hi]. It returns the index of the first active basis function and
+// fills vals[0:degree+1] (vals must have length ≥ degree+1).
+func (b *bspline) evaluate(x float64, vals []float64) int {
+	if x < b.lo {
+		x = b.lo
+	}
+	if x > b.hi {
+		x = b.hi
+	}
+	// Knot span s with knots[s] ≤ x < knots[s+1], s ∈ [degree, m−1].
+	h := b.knots[degree+1] - b.knots[degree]
+	s := degree + int((x-b.lo)/h)
+	if s > b.m-1 {
+		s = b.m - 1
+	}
+	// Cox–de Boor triangular scheme (de Boor's algorithm for basis values).
+	var left, right [degree + 1]float64
+	vals[0] = 1
+	for j := 1; j <= degree; j++ {
+		left[j] = x - b.knots[s+1-j]
+		right[j] = b.knots[s+j] - x
+		saved := 0.0
+		for r := 0; r < j; r++ {
+			tmp := vals[r] / (right[r+1] + left[j-r])
+			vals[r] = saved + right[r+1]*tmp
+			saved = left[j-r] * tmp
+		}
+		vals[j] = saved
+	}
+	return s - degree
+}
+
+// secondDiffPenalty returns the P-spline second-order difference penalty
+// S = DᵀD for m coefficients, the discrete analogue of the paper's
+// ∫ s″(x)² dx roughness penalty.
+func secondDiffPenalty(m int) *linalg.Matrix {
+	s := linalg.NewMatrix(m, m)
+	for r := 0; r+2 < m; r++ {
+		// Row of D: coefficients (1, −2, 1) at positions r, r+1, r+2.
+		idx := [3]int{r, r + 1, r + 2}
+		c := [3]float64{1, -2, 1}
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				s.Add(idx[a], idx[b], c[a]*c[b])
+			}
+		}
+	}
+	return s
+}
+
+// identityPenalty returns I_m, the ridge penalty used for factor terms.
+func identityPenalty(m int) *linalg.Matrix {
+	s := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		s.Set(i, i, 1)
+	}
+	return s
+}
+
+// kroneckerSum returns S₁ ⊗ I_n + I_m ⊗ S₂ for the tensor-product
+// penalty, where S₁ is m×m and S₂ is n×n.
+func kroneckerSum(s1, s2 *linalg.Matrix) *linalg.Matrix {
+	m, n := s1.Rows, s2.Rows
+	out := linalg.NewMatrix(m*n, m*n)
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			v := s1.At(a, b)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				out.Add(a*n+k, b*n+k, v)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			v := s2.At(a, b)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				out.Add(k*n+a, k*n+b, v)
+			}
+		}
+	}
+	return out
+}
+
+// factorLevels extracts the sorted distinct values of a column, which
+// become the levels of a factor term.
+func factorLevels(col []float64) []float64 {
+	s := append([]float64(nil), col...)
+	sort.Float64s(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return append([]float64(nil), out...)
+}
+
+// levelIndex finds the index of v among sorted levels, or -1 if v is not
+// an observed level (treated as contributing zero, i.e. the average).
+func levelIndex(levels []float64, v float64) int {
+	i := sort.SearchFloat64s(levels, v)
+	if i < len(levels) && levels[i] == v {
+		return i
+	}
+	return -1
+}
+
+// nearestLevel maps v to the closest observed level (ties to the lower
+// level). Factor levels learned from D* are sampling-domain points (e.g.
+// {0.45, 0.55} around a one-hot split at 0.5), so prediction-time inputs
+// (0 or 1) rarely match exactly; each level represents a cell of the
+// forest's partition, and any value in that cell takes the level's
+// effect.
+func nearestLevel(levels []float64, v float64) int {
+	if len(levels) == 0 {
+		return -1
+	}
+	i := sort.SearchFloat64s(levels, v)
+	switch {
+	case i == 0:
+		return 0
+	case i == len(levels):
+		return len(levels) - 1
+	}
+	if v-levels[i-1] <= levels[i]-v {
+		return i - 1
+	}
+	return i
+}

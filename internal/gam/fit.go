@@ -1,0 +1,347 @@
+package gam
+
+import (
+	"fmt"
+	"math"
+
+	"gef/internal/linalg"
+)
+
+// ridgeScale is the small unconditional ridge added to every penalized
+// (non-intercept) diagonal entry, relative to the mean diagonal of XᵀX.
+// B-spline bases sum to one, so each spline term's column space contains
+// the constant vector already spanned by the intercept; the ridge makes
+// the penalized normal equations strictly positive definite without
+// visibly perturbing the fit (the redundancy is reassigned to the
+// intercept during post-fit centering).
+const ridgeScale = 1e-7
+
+// FitReport summarizes the smoothing-parameter search.
+type FitReport struct {
+	Lambda  float64   // chosen smoothing parameter
+	GCV     float64   // its GCV score
+	EDF     float64   // effective degrees of freedom at the optimum
+	Scale   float64   // estimated dispersion (σ² for identity link)
+	Lambdas []float64 // searched grid
+	GCVs    []float64 // per-grid GCV scores
+	IRLS    int       // P-IRLS iterations at the chosen λ (logit only)
+	// DevExplained is the fraction of (working) deviance the model
+	// explains at the optimum: 1 − RSS/TSS for the identity link,
+	// computed on the weighted working model for logit.
+	DevExplained float64
+}
+
+// Model is a fitted GAM.
+type Model struct {
+	spec      Spec
+	design    *design // term metadata (cached rows are released after fit)
+	beta      []float64
+	termMeans []float64 // training-mean of each term's contribution
+	colMeans  []float64 // training column means of the design matrix
+	intercept float64   // centered intercept α (terms have mean 0)
+	chol      *linalg.Cholesky
+	report    FitReport
+}
+
+// Fit fits the GAM described by spec to (xs, y), choosing the shared
+// smoothing parameter λ by GCV. Identity link: direct penalized least
+// squares on sufficient statistics. Logit link: penalized IRLS per λ with
+// GCV on the converged working model.
+func Fit(spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
+	if spec.Link == "" {
+		spec.Link = Identity
+	}
+	opt = opt.withDefaults()
+	if len(xs) != len(y) {
+		return nil, fmt.Errorf("gam: %d rows but %d targets", len(xs), len(y))
+	}
+	d, err := buildDesign(spec, xs)
+	if err != nil {
+		return nil, err
+	}
+	if d.n <= d.p {
+		return nil, fmt.Errorf("gam: %d rows for %d coefficients; need more data", d.n, d.p)
+	}
+	if spec.Link == Logit {
+		for _, v := range y {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("gam: logit link requires targets in [0,1], found %v", v)
+			}
+		}
+	}
+
+	s := d.penaltyMatrix()
+	var m *Model
+	if spec.Link == Identity {
+		m, err = fitGaussian(spec, d, s, y, opt)
+	} else {
+		m, err = fitLogit(spec, d, s, y, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.center(d)
+	// Release the cached rows; term metadata stays for prediction.
+	d.rowPtr, d.idx, d.val = nil, nil, nil
+	return m, nil
+}
+
+// accumulateNormal builds XᵀWX (upper triangle) and XᵀWz from the cached
+// rows with per-row weights w and responses z (pass w = nil for unit
+// weights). It returns XᵀWX symmetrized, XᵀWz and zᵀWz.
+func accumulateNormal(d *design, w, z []float64) (xtx *linalg.Matrix, xtz []float64, ztz float64) {
+	xtx = linalg.NewMatrix(d.p, d.p)
+	xtz = make([]float64, d.p)
+	data := xtx.Data
+	p := d.p
+	for i := 0; i < d.n; i++ {
+		idx, val := d.row(i)
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		zi := z[i]
+		ztz += wi * zi * zi
+		wzi := wi * zi
+		for a, ja := range idx {
+			va := val[a]
+			wva := wi * va
+			xtz[ja] += wzi * va
+			rowBase := int(ja) * p
+			for b := a; b < len(idx); b++ {
+				jb := idx[b]
+				if jb >= ja {
+					data[rowBase+int(jb)] += wva * val[b]
+				} else {
+					data[int(jb)*p+int(ja)] += wva * val[b]
+				}
+			}
+		}
+	}
+	xtx.SymmetrizeFromUpper()
+	return xtx, xtz, ztz
+}
+
+// penalizedSystem returns XᵀWX + λS with the stabilizing ridge applied to
+// non-intercept diagonal entries.
+func penalizedSystem(xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
+	a := xtx.Clone()
+	a.AddScaled(lambda, s)
+	var meanDiag float64
+	for i := 0; i < xtx.Rows; i++ {
+		meanDiag += xtx.At(i, i)
+	}
+	meanDiag /= float64(xtx.Rows)
+	if meanDiag <= 0 {
+		meanDiag = 1
+	}
+	r := ridgeScale * meanDiag
+	for i := 1; i < a.Rows; i++ {
+		a.Add(i, i, r)
+	}
+	return a
+}
+
+func fitGaussian(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+	xtx, xty, yty := accumulateNormal(d, nil, y)
+	n := float64(d.n)
+
+	best := FitReport{GCV: math.Inf(1)}
+	var bestBeta []float64
+	var bestChol *linalg.Cholesky
+	for _, lambda := range opt.Lambdas {
+		a := penalizedSystem(xtx, s, lambda)
+		ch, err := linalg.FactorizeSPD(a)
+		if err != nil {
+			continue // skip numerically hopeless λ
+		}
+		beta := ch.Solve(xty)
+		edf := ch.TraceSolve(xtx)
+		rss := yty - 2*linalg.Dot(beta, xty) + quadForm(xtx, beta)
+		if rss < 0 {
+			rss = 0
+		}
+		denom := n - edf
+		if denom <= 0 {
+			continue
+		}
+		gcv := n * rss / (denom * denom)
+		best.Lambdas = append(best.Lambdas, lambda)
+		best.GCVs = append(best.GCVs, gcv)
+		if gcv < best.GCV {
+			best.GCV = gcv
+			best.Lambda = lambda
+			best.EDF = edf
+			best.Scale = rss / denom
+			bestBeta = beta
+			bestChol = ch
+		}
+	}
+	if bestBeta == nil {
+		return nil, fmt.Errorf("gam: no λ in the grid produced a solvable system")
+	}
+	// Deviance explained: 1 − RSS/TSS at the optimum.
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= n
+	tss := yty - n*mean*mean
+	if tss > 0 {
+		rss := yty - 2*linalg.Dot(bestBeta, xty) + quadForm(xtx, bestBeta)
+		if rss < 0 {
+			rss = 0
+		}
+		best.DevExplained = 1 - rss/tss
+	}
+	return &Model{spec: spec, design: d, beta: bestBeta, chol: bestChol, report: best}, nil
+}
+
+func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+	n := float64(d.n)
+	best := FitReport{GCV: math.Inf(1)}
+	var bestBeta []float64
+	var bestChol *linalg.Cholesky
+
+	eta := make([]float64, d.n)
+	w := make([]float64, d.n)
+	z := make([]float64, d.n)
+	for _, lambda := range opt.Lambdas {
+		// Warm-startable P-IRLS; initialize from the data each time for
+		// reproducibility across grids.
+		for i, yi := range y {
+			mu := 0.5*yi + 0.25
+			eta[i] = math.Log(mu / (1 - mu))
+		}
+		var beta []float64
+		var ch *linalg.Cholesky
+		var edf, wrss float64
+		prevDev := math.Inf(1)
+		iters := 0
+		for it := 0; it < opt.MaxIRLS; it++ {
+			iters = it + 1
+			for i := range eta {
+				mu := sigmoid(eta[i])
+				// Clamp fitted probabilities away from 0/1 so the working
+				// weights stay bounded and extreme rows cannot dominate
+				// the working RSS.
+				if mu < 1e-5 {
+					mu = 1e-5
+				} else if mu > 1-1e-5 {
+					mu = 1 - 1e-5
+				}
+				wi := mu * (1 - mu)
+				w[i] = wi
+				z[i] = eta[i] + (y[i]-mu)/wi
+			}
+			xtwx, xtwz, _ := accumulateNormal(d, w, z)
+			a := penalizedSystem(xtwx, s, lambda)
+			var err error
+			ch, err = linalg.FactorizeSPD(a)
+			if err != nil {
+				ch = nil
+				break
+			}
+			beta = ch.Solve(xtwz)
+			dev := 0.0
+			for i := range eta {
+				eta[i] = d.rowDot(i, beta)
+				dev += binomialDeviance(y[i], sigmoid(eta[i]))
+			}
+			if math.Abs(prevDev-dev) < opt.Tol*(math.Abs(dev)+1) {
+				edf = ch.TraceSolve(xtwx)
+				wrss = weightedRSS(d, w, z, beta)
+				break
+			}
+			prevDev = dev
+			if it == opt.MaxIRLS-1 {
+				edf = ch.TraceSolve(xtwx)
+				wrss = weightedRSS(d, w, z, beta)
+			}
+		}
+		if ch == nil || beta == nil {
+			continue
+		}
+		denom := n - edf
+		if denom <= 0 {
+			continue
+		}
+		gcv := n * wrss / (denom * denom)
+		best.Lambdas = append(best.Lambdas, lambda)
+		best.GCVs = append(best.GCVs, gcv)
+		if gcv < best.GCV {
+			best.GCV = gcv
+			best.Lambda = lambda
+			best.EDF = edf
+			best.Scale = wrss / denom
+			best.IRLS = iters
+			bestBeta = beta
+			bestChol = ch
+		}
+	}
+	if bestBeta == nil {
+		return nil, fmt.Errorf("gam: P-IRLS failed for every λ in the grid")
+	}
+	// Binomial dispersion is 1 by GLM convention (as in pyGAM/mgcc);
+	// the working-residual estimate only drives the GCV comparison.
+	best.Scale = 1
+	return &Model{spec: spec, design: d, beta: bestBeta, chol: bestChol, report: best}, nil
+}
+
+func weightedRSS(d *design, w, z, beta []float64) float64 {
+	var rss float64
+	for i := 0; i < d.n; i++ {
+		r := z[i] - d.rowDot(i, beta)
+		rss += w[i] * r * r
+	}
+	return rss
+}
+
+// binomialDeviance is the deviance contribution of one observation,
+// generalized to fractional targets (distillation probabilities).
+func binomialDeviance(y, mu float64) float64 {
+	const eps = 1e-12
+	mu = math.Min(math.Max(mu, eps), 1-eps)
+	var dev float64
+	if y > 0 {
+		dev += y * math.Log(y/mu)
+	}
+	if y < 1 {
+		dev += (1 - y) * math.Log((1-y)/(1-mu))
+	}
+	return 2 * dev
+}
+
+// quadForm computes βᵀ M β.
+func quadForm(m *linalg.Matrix, beta []float64) float64 {
+	return linalg.Dot(beta, linalg.MulVec(m, beta))
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// center converts the fitted (uncentered) parameterization into the
+// paper's E[s_j] = 0 form: each term's training-mean contribution moves
+// into the intercept.
+func (m *Model) center(d *design) {
+	m.termMeans = make([]float64, len(d.terms))
+	m.intercept = m.beta[0]
+	n := float64(d.n)
+	m.colMeans = make([]float64, len(d.colSum))
+	for c, s := range d.colSum {
+		m.colMeans[c] = s / n
+	}
+	for ti, bt := range d.terms {
+		var mean float64
+		for c := 0; c < bt.size; c++ {
+			mean += m.colMeans[bt.offset+c] * m.beta[bt.offset+c]
+		}
+		m.termMeans[ti] = mean
+		m.intercept += mean
+	}
+}

@@ -1,0 +1,163 @@
+package gam
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gef/internal/linalg"
+)
+
+// modelFormatVersion guards the on-disk layout of serialized models.
+const modelFormatVersion = 1
+
+// termJSON captures everything needed to rebuild a builtTerm.
+type termJSON struct {
+	Spec   TermSpec  `json:"spec"`
+	Lo     float64   `json:"lo,omitempty"` // spline/tensor first axis
+	Hi     float64   `json:"hi,omitempty"`
+	Lo2    float64   `json:"lo2,omitempty"` // tensor second axis
+	Hi2    float64   `json:"hi2,omitempty"`
+	Levels []float64 `json:"levels,omitempty"` // factor
+}
+
+type modelJSON struct {
+	Version    int        `json:"version"`
+	Link       Link       `json:"link"`
+	Terms      []termJSON `json:"terms"`
+	Beta       []float64  `json:"beta"`
+	TermMeans  []float64  `json:"term_means"`
+	ColMeans   []float64  `json:"col_means"`
+	Intercept  float64    `json:"intercept"`
+	Report     FitReport  `json:"report"`
+	CholPacked []float64  `json:"chol_packed,omitempty"` // for CIs; optional
+}
+
+// Marshal serializes the fitted model. With includeCI the penalized
+// Cholesky factor is embedded (O(p²/2) floats) so credible intervals
+// survive the round trip; without it the reloaded model predicts and
+// explains but TermCurve returns zero standard errors.
+func (m *Model) Marshal(includeCI bool) ([]byte, error) {
+	mj := modelJSON{
+		Version:   modelFormatVersion,
+		Link:      m.spec.Link,
+		Beta:      m.beta,
+		TermMeans: m.termMeans,
+		ColMeans:  m.colMeans,
+		Intercept: m.intercept,
+		Report:    m.report,
+	}
+	for _, bt := range m.design.terms {
+		tj := termJSON{Spec: bt.spec}
+		switch bt.spec.Kind {
+		case Spline:
+			tj.Lo, tj.Hi = bt.bs.lo, bt.bs.hi
+		case Tensor:
+			tj.Lo, tj.Hi = bt.bs.lo, bt.bs.hi
+			tj.Lo2, tj.Hi2 = bt.bs2.lo, bt.bs2.hi
+		case Factor:
+			tj.Levels = bt.levels
+		}
+		mj.Terms = append(mj.Terms, tj)
+	}
+	if includeCI && m.chol != nil {
+		mj.CholPacked = m.chol.PackLower()
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalModel reconstructs a fitted model serialized by Marshal.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var mj modelJSON
+	if err := json.Unmarshal(data, &mj); err != nil {
+		return nil, fmt.Errorf("gam: parsing model JSON: %w", err)
+	}
+	if mj.Version != modelFormatVersion {
+		return nil, fmt.Errorf("gam: unsupported model format version %d", mj.Version)
+	}
+	if len(mj.Terms) == 0 {
+		return nil, fmt.Errorf("gam: serialized model has no terms")
+	}
+	d := &design{}
+	col := 1
+	spec := Spec{Link: mj.Link}
+	for i, tj := range mj.Terms {
+		bt := builtTerm{spec: tj.Spec, offset: col}
+		switch tj.Spec.Kind {
+		case Spline:
+			bs, err := newBSpline(tj.Spec.NumBasis, tj.Lo, tj.Hi)
+			if err != nil {
+				return nil, fmt.Errorf("gam: term %d: %w", i, err)
+			}
+			bt.bs = bs
+			bt.size = tj.Spec.NumBasis
+		case Tensor:
+			bs1, err := newBSpline(tj.Spec.NumBasis, tj.Lo, tj.Hi)
+			if err != nil {
+				return nil, fmt.Errorf("gam: term %d: %w", i, err)
+			}
+			bs2, err := newBSpline(tj.Spec.NumBasis, tj.Lo2, tj.Hi2)
+			if err != nil {
+				return nil, fmt.Errorf("gam: term %d: %w", i, err)
+			}
+			bt.bs, bt.bs2 = bs1, bs2
+			bt.size = tj.Spec.NumBasis * tj.Spec.NumBasis
+		case Factor:
+			if len(tj.Levels) == 0 {
+				return nil, fmt.Errorf("gam: term %d: factor without levels", i)
+			}
+			bt.levels = tj.Levels
+			bt.size = len(tj.Levels)
+		default:
+			return nil, fmt.Errorf("gam: term %d: unknown kind %q", i, tj.Spec.Kind)
+		}
+		col += bt.size
+		d.terms = append(d.terms, bt)
+		spec.Terms = append(spec.Terms, tj.Spec)
+	}
+	d.p = col
+	if len(mj.Beta) != d.p {
+		return nil, fmt.Errorf("gam: %d coefficients for %d columns", len(mj.Beta), d.p)
+	}
+	if len(mj.TermMeans) != len(d.terms) {
+		return nil, fmt.Errorf("gam: %d term means for %d terms", len(mj.TermMeans), len(d.terms))
+	}
+	if len(mj.ColMeans) != d.p {
+		return nil, fmt.Errorf("gam: %d column means for %d columns", len(mj.ColMeans), d.p)
+	}
+	m := &Model{
+		spec:      spec,
+		design:    d,
+		beta:      mj.Beta,
+		termMeans: mj.TermMeans,
+		colMeans:  mj.ColMeans,
+		intercept: mj.Intercept,
+		report:    mj.Report,
+	}
+	if len(mj.CholPacked) > 0 {
+		ch, err := linalg.NewCholeskyFromPacked(d.p, mj.CholPacked)
+		if err != nil {
+			return nil, fmt.Errorf("gam: restoring CI factor: %w", err)
+		}
+		m.chol = ch
+	}
+	return m, nil
+}
+
+// SaveFile writes the serialized model to path.
+func (m *Model) SaveFile(path string, includeCI bool) error {
+	data, err := m.Marshal(includeCI)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModelFile reads a model serialized with SaveFile.
+func LoadModelFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalModel(data)
+}

@@ -1,0 +1,151 @@
+package gam
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// fittedMixedModel fits a model with one of each term kind.
+func fittedMixedModel(t *testing.T) (*Model, [][]float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(21))
+	n := 2500
+	xs := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Float64(), r.Float64()
+		lv := float64(r.Intn(3))
+		xs[i] = []float64{a, b, lv}
+		y[i] = math.Sin(3*a) + 2*(a-0.5)*(b-0.5) + 0.5*lv + 0.05*r.NormFloat64()
+	}
+	m, err := Fit(Spec{Terms: []TermSpec{
+		{Kind: Spline, Feature: 0},
+		{Kind: Spline, Feature: 1},
+		{Kind: Tensor, Feature: 0, Feature2: 1, NumBasis: 5},
+		{Kind: Factor, Feature: 2},
+	}}, xs, y, Options{Lambdas: []float64{0.01, 1, 100}})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return m, xs
+}
+
+func TestModelRoundTripPredictions(t *testing.T) {
+	m, xs := fittedMixedModel(t)
+	data, err := m.Marshal(true)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m2, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatalf("UnmarshalModel: %v", err)
+	}
+	for _, x := range xs[:50] {
+		if got, want := m2.Predict(x), m.Predict(x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Predict changed: %v vs %v", got, want)
+		}
+		for ti := 0; ti < m.NumTerms(); ti++ {
+			if got, want := m2.TermValue(ti, x), m.TermValue(ti, x); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("term %d value changed: %v vs %v", ti, got, want)
+			}
+		}
+	}
+	if m2.Intercept() != m.Intercept() {
+		t.Error("intercept changed")
+	}
+	if m2.Report().Lambda != m.Report().Lambda {
+		t.Error("report lost")
+	}
+}
+
+func TestModelRoundTripCIs(t *testing.T) {
+	m, _ := fittedMixedModel(t)
+	data, err := m.Marshal(true)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m2, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatalf("UnmarshalModel: %v", err)
+	}
+	grid := []float64{0.2, 0.5, 0.8}
+	c1, err := m.TermCurve(0, grid, 0.95)
+	if err != nil {
+		t.Fatalf("TermCurve: %v", err)
+	}
+	c2, err := m2.TermCurve(0, grid, 0.95)
+	if err != nil {
+		t.Fatalf("TermCurve: %v", err)
+	}
+	for i := range grid {
+		if math.Abs(c1.SE[i]-c2.SE[i]) > 1e-10 {
+			t.Errorf("SE changed at %d: %v vs %v", i, c1.SE[i], c2.SE[i])
+		}
+	}
+}
+
+func TestModelWithoutCIs(t *testing.T) {
+	m, _ := fittedMixedModel(t)
+	data, err := m.Marshal(false)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	m2, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatalf("UnmarshalModel: %v", err)
+	}
+	c, err := m2.TermCurve(0, []float64{0.5}, 0.95)
+	if err != nil {
+		t.Fatalf("TermCurve: %v", err)
+	}
+	if c.SE[0] != 0 {
+		t.Errorf("SE without CI factor = %v, want 0", c.SE[0])
+	}
+	// Predictions still intact.
+	if math.Abs(m2.Predict([]float64{0.5, 0.5, 1})-m.Predict([]float64{0.5, 0.5, 1})) > 1e-12 {
+		t.Error("prediction changed without CI factor")
+	}
+	// Compact payload: no-CI form must be much smaller.
+	withCI, _ := m.Marshal(true)
+	if len(data) >= len(withCI) {
+		t.Errorf("no-CI payload (%d) not smaller than CI payload (%d)", len(data), len(withCI))
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	m, xs := fittedMixedModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.SaveFile(path, true); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	m2, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatalf("LoadModelFile: %v", err)
+	}
+	if m2.Predict(xs[0]) != m.Predict(xs[0]) {
+		t.Error("file round trip changed prediction")
+	}
+}
+
+func TestUnmarshalModelErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "nope",
+		"bad version":   `{"version":9}`,
+		"no terms":      `{"version":1,"terms":[]}`,
+		"beta mismatch": `{"version":1,"terms":[{"spec":{"Kind":"spline","Feature":0,"NumBasis":5},"lo":0,"hi":1}],"beta":[1],"term_means":[0],"col_means":[0]}`,
+		"bad kind":      `{"version":1,"terms":[{"spec":{"Kind":"wavelet"}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := UnmarshalModel([]byte(body)); err == nil {
+			t.Errorf("%s: accepted invalid payload", name)
+		}
+	}
+}
+
+func TestLoadModelFileMissing(t *testing.T) {
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("accepted missing file")
+	}
+}

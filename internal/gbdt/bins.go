@@ -1,0 +1,140 @@
+// Package gbdt trains forests of decision trees in the LightGBM style the
+// paper uses as its black-box model: histogram-based split finding,
+// leaf-wise (best-first) tree growth capped by a leaf budget, shrinkage,
+// second-order gradient boosting for L2 regression and binary log-loss,
+// validation-based early stopping and k-fold grid-search cross-validation.
+// It also provides a bagged Random-Forest trainer (the paper's §6 future
+// work) built on the same tree grower.
+//
+// The produced forest.Forest records per-node loss reduction (gain) and
+// per-node sample counts (cover), which GEF's feature/interaction
+// selection heuristics and TreeSHAP respectively consume.
+package gbdt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// maxBinsLimit caps the bin count so bin indices fit in a uint16 with
+// headroom.
+const maxBinsLimit = 65000
+
+// featureBins holds the discretization of one feature.
+type featureBins struct {
+	// upper[b] is the threshold recorded when splitting after bin b:
+	// samples with value ≤ upper[b] fall in bins 0..b. It is the midpoint
+	// between the largest value in bin b and the smallest value in bin
+	// b+1, which keeps recorded thresholds strictly between observed
+	// values (no training sample sits exactly on a threshold).
+	upper []float64
+	// cuts[b] is the inclusive upper raw-value bound of bin b, used to
+	// map values to bins. len(cuts) == numBins−1 (last bin is unbounded).
+	cuts []float64
+}
+
+func (fb *featureBins) numBins() int { return len(fb.cuts) + 1 }
+
+// binIndex maps a raw value to its bin via binary search.
+func (fb *featureBins) binIndex(v float64) int {
+	// First index with cuts[i] >= v  → bin i.
+	return sort.SearchFloat64s(fb.cuts, v)
+}
+
+// buildBins discretizes a feature column into at most maxBins
+// equal-frequency bins. Distinct values fewer than maxBins each get their
+// own bin, so small categorical-like features are represented exactly.
+func buildBins(col []float64, maxBins int) *featureBins {
+	if maxBins < 2 {
+		panic(fmt.Sprintf("gbdt: maxBins = %d, want ≥ 2", maxBins))
+	}
+	if maxBins > maxBinsLimit {
+		maxBins = maxBinsLimit
+	}
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	// Distinct values with their multiplicities.
+	var vals []float64
+	var counts []int
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			vals = append(vals, v)
+			counts = append(counts, 1)
+		} else {
+			counts[len(counts)-1]++
+		}
+	}
+	fb := &featureBins{}
+	if len(vals) <= 1 {
+		return fb // single bin, no candidate splits
+	}
+	if len(vals) <= maxBins {
+		// One bin per distinct value.
+		for i := 0; i+1 < len(vals); i++ {
+			mid := (vals[i] + vals[i+1]) / 2
+			fb.cuts = append(fb.cuts, mid)
+			fb.upper = append(fb.upper, mid)
+		}
+		return fb
+	}
+	// Equal-frequency binning over distinct values weighted by counts.
+	total := len(col)
+	perBin := float64(total) / float64(maxBins)
+	acc := 0
+	nextTarget := perBin
+	for i := 0; i+1 < len(vals); i++ {
+		acc += counts[i]
+		if float64(acc) >= nextTarget {
+			mid := (vals[i] + vals[i+1]) / 2
+			fb.cuts = append(fb.cuts, mid)
+			fb.upper = append(fb.upper, mid)
+			for float64(acc) >= nextTarget {
+				nextTarget += perBin
+			}
+			if len(fb.cuts) == maxBins-1 {
+				break
+			}
+		}
+	}
+	return fb
+}
+
+// binnedData is the feature-major binned representation of a design
+// matrix: bins[f][row] is the bin index of feature f for that row.
+type binnedData struct {
+	features []*featureBins
+	bins     [][]uint16
+	numRows  int
+}
+
+// binDataset bins every column of xs.
+func binDataset(xs [][]float64, numFeatures, maxBins int) *binnedData {
+	bd := &binnedData{
+		features: make([]*featureBins, numFeatures),
+		bins:     make([][]uint16, numFeatures),
+		numRows:  len(xs),
+	}
+	col := make([]float64, len(xs))
+	for f := 0; f < numFeatures; f++ {
+		for i, row := range xs {
+			col[i] = row[f]
+		}
+		fb := buildBins(col, maxBins)
+		if fb.numBins() > maxBinsLimit {
+			panic("gbdt: bin count overflow")
+		}
+		bd.features[f] = fb
+		b := make([]uint16, len(xs))
+		for i, row := range xs {
+			b[i] = uint16(fb.binIndex(row[f]))
+		}
+		bd.bins[f] = b
+	}
+	return bd
+}
+
+// threshold returns the real-valued threshold recorded when splitting
+// feature f after bin b.
+func (bd *binnedData) threshold(f, b int) float64 {
+	return bd.features[f].upper[b]
+}

@@ -1,0 +1,125 @@
+package gbdt
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildBinsFewDistinct(t *testing.T) {
+	fb := buildBins([]float64{1, 2, 2, 3, 1}, 255)
+	if got := fb.numBins(); got != 3 {
+		t.Fatalf("numBins = %d, want 3", got)
+	}
+	// Thresholds are midpoints between distinct values.
+	if fb.upper[0] != 1.5 || fb.upper[1] != 2.5 {
+		t.Errorf("upper = %v, want [1.5 2.5]", fb.upper)
+	}
+	// Bin assignment respects the cuts.
+	if fb.binIndex(1) != 0 || fb.binIndex(2) != 1 || fb.binIndex(3) != 2 {
+		t.Error("binIndex misassigns distinct values")
+	}
+	if fb.binIndex(1.5) != 0 { // boundary value goes left (≤)
+		t.Errorf("binIndex(1.5) = %d, want 0", fb.binIndex(1.5))
+	}
+}
+
+func TestBuildBinsSingleValue(t *testing.T) {
+	fb := buildBins([]float64{7, 7, 7}, 255)
+	if fb.numBins() != 1 {
+		t.Errorf("numBins = %d, want 1 (no splits possible)", fb.numBins())
+	}
+}
+
+func TestBuildBinsCapsBinCount(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	col := make([]float64, 5000)
+	for i := range col {
+		col[i] = r.Float64()
+	}
+	fb := buildBins(col, 64)
+	if fb.numBins() > 64 {
+		t.Errorf("numBins = %d, want ≤ 64", fb.numBins())
+	}
+	if fb.numBins() < 32 {
+		t.Errorf("numBins = %d, suspiciously few for 5000 uniform values", fb.numBins())
+	}
+}
+
+func TestBuildBinsEqualFrequency(t *testing.T) {
+	// 1000 uniform values into 10 bins → each bin should hold roughly 100.
+	r := rand.New(rand.NewSource(2))
+	col := make([]float64, 1000)
+	for i := range col {
+		col[i] = r.Float64()
+	}
+	fb := buildBins(col, 10)
+	counts := make([]int, fb.numBins())
+	for _, v := range col {
+		counts[fb.binIndex(v)]++
+	}
+	for b, c := range counts {
+		if c < 50 || c > 200 {
+			t.Errorf("bin %d holds %d values, want ≈ 100", b, c)
+		}
+	}
+}
+
+func TestBuildBinsPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buildBins([]float64{1, 2}, 1)
+}
+
+// Property: binIndex is monotone non-decreasing in the value, and
+// thresholds strictly separate adjacent bins.
+func TestBinIndexMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(500)
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = r.NormFloat64() * 10
+		}
+		fb := buildBins(col, 2+r.Intn(60))
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		prev := -1
+		for _, v := range sorted {
+			b := fb.binIndex(v)
+			if b < prev {
+				return false
+			}
+			prev = b
+		}
+		// Every recorded threshold must separate values on its two sides.
+		for b, u := range fb.upper {
+			if fb.binIndex(u) != b {
+				return false // threshold itself goes left of the split
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinDataset(t *testing.T) {
+	xs := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	bd := binDataset(xs, 2, 255)
+	if bd.numRows != 3 || len(bd.features) != 2 {
+		t.Fatalf("unexpected shape")
+	}
+	if bd.bins[0][0] != 0 || bd.bins[0][2] != 2 {
+		t.Errorf("feature 0 bins = %v", bd.bins[0])
+	}
+	// threshold(f, b) returns the recorded split value.
+	if bd.threshold(0, 0) != 1.5 {
+		t.Errorf("threshold = %v, want 1.5", bd.threshold(0, 0))
+	}
+}

@@ -1,0 +1,85 @@
+package gbdt
+
+import (
+	"fmt"
+	"math"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/stats"
+)
+
+// Grid is the hyper-parameter search space for GridSearchCV, mirroring the
+// paper's §4.1 protocol (number of trees × leaves × learning rate).
+type Grid struct {
+	NumTrees      []int
+	NumLeaves     []int
+	LearningRates []float64
+}
+
+// GridResult records the cross-validated loss of one configuration.
+type GridResult struct {
+	Params   Params
+	MeanLoss float64
+	FoldLoss []float64
+}
+
+// GridSearchCV evaluates every configuration in the grid with k-fold
+// cross-validation on ds. Within each fold, 25% of the fold-training data
+// is held out as an early-stopping validation set (the paper's setup).
+// It returns the winning configuration and all per-configuration results
+// sorted in evaluation order.
+func GridSearchCV(ds *dataset.Dataset, base Params, grid Grid, k int, seed int64) (Params, []GridResult, error) {
+	if len(grid.NumTrees) == 0 || len(grid.NumLeaves) == 0 || len(grid.LearningRates) == 0 {
+		return Params{}, nil, fmt.Errorf("gbdt: empty grid")
+	}
+	folds := dataset.KFold(ds.NumRows(), k, seed)
+	var results []GridResult
+	best := -1
+	for _, nt := range grid.NumTrees {
+		for _, nl := range grid.NumLeaves {
+			for _, lr := range grid.LearningRates {
+				p := base
+				p.NumTrees = nt
+				p.NumLeaves = nl
+				p.LearningRate = lr
+				res, err := evalConfig(ds, folds, p, seed)
+				if err != nil {
+					return Params{}, nil, err
+				}
+				results = append(results, res)
+				if best < 0 || res.MeanLoss < results[best].MeanLoss {
+					best = len(results) - 1
+				}
+			}
+		}
+	}
+	return results[best].Params, results, nil
+}
+
+func evalConfig(ds *dataset.Dataset, folds [][]int, p Params, seed int64) (GridResult, error) {
+	res := GridResult{Params: p}
+	for i := range folds {
+		trainIdx, testIdx := dataset.FoldSplit(folds, i)
+		trainAll := ds.Subset(trainIdx)
+		test := ds.Subset(testIdx)
+		// 25% of the fold-training data for early stopping.
+		tr, va := trainAll.Split(0.25, seed+int64(i))
+		f, _, err := TrainValid(tr, va, p)
+		if err != nil {
+			return res, fmt.Errorf("gbdt: fold %d: %w", i, err)
+		}
+		var l float64
+		if p.Objective == forest.BinaryLogistic {
+			l = stats.LogLoss(f.PredictBatch(test.X), test.Y)
+		} else {
+			l = stats.RMSE(f.PredictBatch(test.X), test.Y)
+		}
+		res.FoldLoss = append(res.FoldLoss, l)
+	}
+	res.MeanLoss = stats.Mean(res.FoldLoss)
+	if math.IsNaN(res.MeanLoss) {
+		return res, fmt.Errorf("gbdt: NaN loss for params %+v", p)
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package gbdt
+
+import (
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/stats"
+)
+
+func TestGridSearchCV(t *testing.T) {
+	ds := dataset.GPrime(800, 0.1, 11)
+	grid := Grid{
+		NumTrees:      []int{30},
+		NumLeaves:     []int{4, 16},
+		LearningRates: []float64{0.01, 0.2},
+	}
+	best, results, err := GridSearchCV(ds, Params{Seed: 1, EarlyStoppingRounds: 5}, grid, 3, 7)
+	if err != nil {
+		t.Fatalf("GridSearchCV: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if len(r.FoldLoss) != 3 {
+			t.Errorf("config %+v has %d fold losses, want 3", r.Params, len(r.FoldLoss))
+		}
+	}
+	// With only 30 rounds, lr=0.2 must beat lr=0.01.
+	if best.LearningRate != 0.2 {
+		t.Errorf("best lr = %v, want 0.2", best.LearningRate)
+	}
+	// Best config has the minimal mean loss.
+	for _, r := range results {
+		if r.MeanLoss < meanLossOf(results, best)-1e-12 {
+			t.Errorf("config %+v beats the chosen best", r.Params)
+		}
+	}
+}
+
+func meanLossOf(results []GridResult, p Params) float64 {
+	for _, r := range results {
+		if r.Params == p {
+			return r.MeanLoss
+		}
+	}
+	return -1
+}
+
+func TestGridSearchCVEmptyGrid(t *testing.T) {
+	ds := dataset.GPrime(100, 0.1, 1)
+	if _, _, err := GridSearchCV(ds, Params{}, Grid{}, 2, 1); err == nil {
+		t.Error("accepted empty grid")
+	}
+}
+
+func TestTrainRFRegression(t *testing.T) {
+	ds := dataset.GPrime(2000, 0.1, 13)
+	train, test := ds.Split(0.25, 3)
+	f, err := TrainRF(train, RFParams{NumTrees: 80, NumLeaves: 64, FeatureFraction: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainRF: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("RF invalid: %v", err)
+	}
+	r2 := stats.R2(f.PredictBatch(test.X), test.Y)
+	if r2 < 0.75 {
+		t.Errorf("RF test R² = %v, want ≥ 0.75", r2)
+	}
+}
+
+func TestTrainRFClassification(t *testing.T) {
+	d := &dataset.Dataset{Task: dataset.Classification}
+	for i := 0; i < 600; i++ {
+		x := float64(i%100) / 99
+		y := 0.0
+		if x > 0.5 {
+			y = 1
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	f, err := TrainRF(d, RFParams{NumTrees: 30, NumLeaves: 8, Classification: true, Seed: 2})
+	if err != nil {
+		t.Fatalf("TrainRF: %v", err)
+	}
+	pred := f.PredictBatch(d.X)
+	for _, p := range pred {
+		if p < -0.01 || p > 1.01 {
+			t.Fatalf("averaged probability %v outside [0,1]", p)
+		}
+	}
+	if acc := stats.Accuracy(pred, d.Y); acc < 0.95 {
+		t.Errorf("RF accuracy = %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestTrainRFRejectsBadClassTargets(t *testing.T) {
+	d := &dataset.Dataset{X: [][]float64{{1}}, Y: []float64{0.5}, Task: dataset.Classification}
+	if _, err := TrainRF(d, RFParams{Classification: true}); err == nil {
+		t.Error("accepted non-binary targets")
+	}
+}
+
+func TestTrainRFEmpty(t *testing.T) {
+	if _, err := TrainRF(&dataset.Dataset{Task: dataset.Regression}, RFParams{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+}
+
+func TestRFDeterministic(t *testing.T) {
+	ds := dataset.GPrime(300, 0.1, 17)
+	f1, err := TrainRF(ds, RFParams{NumTrees: 5, Seed: 9})
+	if err != nil {
+		t.Fatalf("TrainRF: %v", err)
+	}
+	f2, err := TrainRF(ds, RFParams{NumTrees: 5, Seed: 9})
+	if err != nil {
+		t.Fatalf("TrainRF: %v", err)
+	}
+	for _, x := range ds.X[:10] {
+		if f1.RawPredict(x) != f2.RawPredict(x) {
+			t.Fatal("same-seed RF differs")
+		}
+	}
+}
+
+func TestSqrtFrac(t *testing.T) {
+	if got := sqrtFrac(81); got != 9.0/81 {
+		t.Errorf("sqrtFrac(81) = %v, want 1/9", got)
+	}
+	if got := sqrtFrac(1); got != 1 {
+		t.Errorf("sqrtFrac(1) = %v, want 1", got)
+	}
+}
+
+func TestOOBScore(t *testing.T) {
+	ds := dataset.GPrime(500, 0.1, 19)
+	train, test := ds.Split(0.2, 1)
+	f, err := TrainRF(train, RFParams{NumTrees: 20, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainRF: %v", err)
+	}
+	rmse := OOBScore(f, test, false)
+	if rmse <= 0 || rmse > 2 {
+		t.Errorf("OOB RMSE = %v out of plausible range", rmse)
+	}
+}

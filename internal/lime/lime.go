@@ -1,0 +1,171 @@
+// Package lime implements tabular LIME (Ribeiro et al., "Why Should I
+// Trust You?") with the reference implementation's defaults, as the
+// second local-explanation baseline of the paper's §5.3: Gaussian
+// perturbation of the standardized instance, exponential kernel
+// weighting, and a weighted ridge regression surrogate whose coefficients
+// explain the prediction.
+package lime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gef/internal/linalg"
+	"gef/internal/stats"
+)
+
+// Config controls the LIME explanation.
+type Config struct {
+	NumSamples  int     // perturbations to draw (default 5000, the reference default)
+	KernelWidth float64 // exponential kernel width; default 0.75·√d
+	Ridge       float64 // ridge regularization of the local model (default 1)
+	Seed        int64
+}
+
+func (c Config) withDefaults(d int) Config {
+	if c.NumSamples == 0 {
+		c.NumSamples = 5000
+	}
+	if c.KernelWidth == 0 {
+		c.KernelWidth = 0.75 * math.Sqrt(float64(d))
+	}
+	if c.Ridge == 0 {
+		c.Ridge = 1
+	}
+	return c
+}
+
+// Explanation is a fitted local surrogate.
+type Explanation struct {
+	Intercept float64
+	// Weights are the local ridge coefficients on standardized features:
+	// the per-feature influence near the explained instance.
+	Weights []float64
+	// R2 is the weighted goodness of fit of the local surrogate.
+	R2 float64
+}
+
+// FeatureWeight pairs a feature with its local coefficient.
+type FeatureWeight struct {
+	Feature int
+	Weight  float64
+}
+
+// Top returns the k coefficients with the largest magnitude.
+func (e *Explanation) Top(k int) []FeatureWeight {
+	out := make([]FeatureWeight, 0, len(e.Weights))
+	for f, w := range e.Weights {
+		out = append(out, FeatureWeight{Feature: f, Weight: w})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return math.Abs(out[a].Weight) > math.Abs(out[b].Weight)
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Explain fits a local ridge surrogate to predict around x. The
+// background sample provides per-feature scale (standard deviations);
+// predict is the black-box function (forest prediction on the response
+// scale).
+func Explain(predict func([]float64) float64, background [][]float64, x []float64, cfg Config) (*Explanation, error) {
+	if len(background) < 2 {
+		return nil, fmt.Errorf("lime: need a background sample of ≥ 2 rows, got %d", len(background))
+	}
+	d := len(x)
+	if len(background[0]) != d {
+		return nil, fmt.Errorf("lime: background width %d does not match instance width %d", len(background[0]), d)
+	}
+	cfg = cfg.withDefaults(d)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-feature mean/sd from the background, as the reference
+	// implementation's discretize=False mode does.
+	sds := make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(background))
+		for i, row := range background {
+			col[i] = row[j]
+		}
+		sds[j] = stats.StdDev(col)
+		if sds[j] == 0 {
+			sds[j] = 1
+		}
+	}
+
+	n := cfg.NumSamples
+	// z-space design (standardized perturbations, first row is the
+	// instance itself = all zeros in z space).
+	zs := make([][]float64, n)
+	ys := make([]float64, n)
+	w := make([]float64, n)
+	pert := make([]float64, d)
+	for i := 0; i < n; i++ {
+		z := make([]float64, d)
+		copy(pert, x)
+		if i > 0 {
+			for j := 0; j < d; j++ {
+				z[j] = rng.NormFloat64()
+				pert[j] = x[j] + z[j]*sds[j]
+			}
+		}
+		zs[i] = z
+		ys[i] = predict(pert)
+		dist2 := linalg.Dot(z, z)
+		w[i] = math.Exp(-dist2 / (cfg.KernelWidth * cfg.KernelWidth))
+	}
+
+	// Weighted ridge regression on [1 | z].
+	p := d + 1
+	xtx := linalg.NewMatrix(p, p)
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row[0] = 1
+		copy(row[1:], zs[i])
+		xtx.SymRankOneUpdate(w[i], row)
+		for j := 0; j < p; j++ {
+			xty[j] += w[i] * ys[i] * row[j]
+		}
+	}
+	xtx.SymmetrizeFromUpper()
+	for j := 1; j < p; j++ { // intercept unpenalized
+		xtx.Add(j, j, cfg.Ridge)
+	}
+	beta, err := linalg.SolveSPD(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("lime: local ridge solve failed: %w", err)
+	}
+
+	e := &Explanation{Intercept: beta[0], Weights: beta[1:]}
+	e.R2 = weightedR2(zs, ys, w, beta)
+	return e, nil
+}
+
+func weightedR2(zs [][]float64, ys, w, beta []float64) float64 {
+	var sw, swy float64
+	for i, wi := range w {
+		sw += wi
+		swy += wi * ys[i]
+	}
+	mean := swy / sw
+	var ssRes, ssTot float64
+	for i, z := range zs {
+		pred := beta[0]
+		for j, v := range z {
+			pred += beta[j+1] * v
+		}
+		r := ys[i] - pred
+		ssRes += w[i] * r * r
+		dv := ys[i] - mean
+		ssTot += w[i] * dv * dv
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

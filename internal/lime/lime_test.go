@@ -1,0 +1,139 @@
+package lime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// background draws rows uniformly from [0,1]^d.
+func background(n, d int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestExplainLinearFunction(t *testing.T) {
+	// f(x) = 3x₀ − 2x₁ + 1: local coefficients (on standardized features)
+	// must be proportional to 3·sd₀ and −2·sd₁.
+	bg := background(500, 2, 1)
+	f := func(x []float64) float64 { return 3*x[0] - 2*x[1] + 1 }
+	e, err := Explain(f, bg, []float64{0.5, 0.5}, Config{NumSamples: 3000, Seed: 2})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	// Uniform [0,1] sd ≈ 0.289.
+	const sd = 0.2887
+	if math.Abs(e.Weights[0]-3*sd) > 0.05 {
+		t.Errorf("w₀ = %v, want ≈ %v", e.Weights[0], 3*sd)
+	}
+	if math.Abs(e.Weights[1]-(-2*sd)) > 0.05 {
+		t.Errorf("w₁ = %v, want ≈ %v", e.Weights[1], -2*sd)
+	}
+	if math.Abs(e.Intercept-f([]float64{0.5, 0.5})) > 0.05 {
+		t.Errorf("intercept = %v, want ≈ %v", e.Intercept, f([]float64{0.5, 0.5}))
+	}
+	if e.R2 < 0.99 {
+		t.Errorf("local R² = %v on a linear function, want ≈ 1", e.R2)
+	}
+}
+
+func TestExplainIsLocal(t *testing.T) {
+	// f = step at 0.5 in x₀: explaining points on either side far from the
+	// step yields near-zero slope; explaining at the step yields a large
+	// positive slope.
+	bg := background(500, 1, 3)
+	f := func(x []float64) float64 {
+		if x[0] > 0.5 {
+			return 1
+		}
+		return 0
+	}
+	cfg := Config{NumSamples: 4000, KernelWidth: 0.2, Seed: 4}
+	atStep, err := Explain(f, bg, []float64{0.5}, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	farAway, err := Explain(f, bg, []float64{3.0}, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if atStep.Weights[0] < 0.1 {
+		t.Errorf("slope at step = %v, want clearly positive", atStep.Weights[0])
+	}
+	if math.Abs(farAway.Weights[0]) > math.Abs(atStep.Weights[0])/3 {
+		t.Errorf("slope far from step = %v, should be much smaller than %v",
+			farAway.Weights[0], atStep.Weights[0])
+	}
+}
+
+func TestExplainIrrelevantFeature(t *testing.T) {
+	bg := background(500, 3, 5)
+	f := func(x []float64) float64 { return 5 * x[1] }
+	e, err := Explain(f, bg, []float64{0.5, 0.5, 0.5}, Config{NumSamples: 3000, Seed: 6})
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if math.Abs(e.Weights[0]) > 0.05 || math.Abs(e.Weights[2]) > 0.05 {
+		t.Errorf("irrelevant features weighted: %v", e.Weights)
+	}
+	if e.Weights[1] < 0.5 {
+		t.Errorf("relevant feature weight = %v, want large", e.Weights[1])
+	}
+}
+
+func TestTopSortsByMagnitude(t *testing.T) {
+	e := &Explanation{Weights: []float64{0.1, -3, 2}}
+	top := e.Top(2)
+	if len(top) != 2 || top[0].Feature != 1 || top[1].Feature != 2 {
+		t.Errorf("Top = %+v", top)
+	}
+	if got := e.Top(99); len(got) != 3 {
+		t.Errorf("Top(99) returned %d", len(got))
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	f := func(x []float64) float64 { return 0 }
+	if _, err := Explain(f, nil, []float64{1}, Config{}); err == nil {
+		t.Error("accepted empty background")
+	}
+	if _, err := Explain(f, [][]float64{{1, 2}, {3, 4}}, []float64{1}, Config{}); err == nil {
+		t.Error("accepted width mismatch")
+	}
+}
+
+func TestExplainDeterministic(t *testing.T) {
+	bg := background(100, 2, 7)
+	f := func(x []float64) float64 { return x[0] * x[1] }
+	cfg := Config{NumSamples: 500, Seed: 11}
+	a, err := Explain(f, bg, []float64{0.5, 0.5}, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	b, err := Explain(f, bg, []float64{0.5, 0.5}, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	for j := range a.Weights {
+		if a.Weights[j] != b.Weights[j] {
+			t.Fatal("same-seed explanations differ")
+		}
+	}
+}
+
+func TestConstantFeatureBackground(t *testing.T) {
+	// A zero-variance background column must not divide by zero.
+	bg := [][]float64{{1, 5}, {2, 5}, {3, 5}}
+	f := func(x []float64) float64 { return x[0] }
+	if _, err := Explain(f, bg, []float64{2, 5}, Config{NumSamples: 200, Seed: 1}); err != nil {
+		t.Fatalf("Explain with constant column: %v", err)
+	}
+}

@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("got %d×%d, want 3×2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewMatrixFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	NewMatrixFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestSetAddAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 3)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 5 {
+		t.Errorf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %d×%d, want 3×2", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestMulVecAndMulTVec(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{1, -1}
+	got := MulVec(a, x)
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	y := []float64{1, 0, -1}
+	got2 := MulTVec(a, y)
+	want2 := []float64{-4, -4}
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Errorf("MulTVec[%d] = %v, want %v", i, got2[i], want2[i])
+		}
+	}
+}
+
+// Property: (AB)ᵀ == Bᵀ Aᵀ for random matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := randMatrix(r, m, k)
+		b := randMatrix(r, k, n)
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		return MaxAbsDiff(left, right) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestSymRankOneUpdate(t *testing.T) {
+	m := NewMatrix(3, 3)
+	x := []float64{1, 2, 3}
+	m.SymRankOneUpdate(2, x)
+	// Upper triangle should hold 2*x xᵀ.
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			want := 2 * x[i] * x[j]
+			if m.At(i, j) != want {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSymSparseRankOneUpdateMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 8
+	dense := NewMatrix(n, n)
+	sparse := NewMatrix(n, n)
+	for rep := 0; rep < 20; rep++ {
+		// Random sparse vector with 3 nonzeros at increasing indices.
+		idx := []int{r.Intn(3), 3 + r.Intn(2), 6 + r.Intn(2)}
+		val := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		full := make([]float64, n)
+		for k, i := range idx {
+			full[i] = val[k]
+		}
+		w := r.Float64() + 0.5
+		dense.SymRankOneUpdate(w, full)
+		sparse.SymSparseRankOneUpdate(w, idx, val)
+	}
+	dense.SymmetrizeFromUpper()
+	sparse.SymmetrizeFromUpper()
+	if d := MaxAbsDiff(dense, sparse); d > 1e-12 {
+		t.Errorf("sparse update deviates from dense by %g", d)
+	}
+}
+
+func TestSymmetrizeFromUpper(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {0, 4, 5}, {0, 0, 6}})
+	m.SymmetrizeFromUpper()
+	if m.At(1, 0) != 2 || m.At(2, 0) != 3 || m.At(2, 1) != 5 {
+		t.Errorf("symmetrize failed: %+v", m.Data)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 9}, {9, 2}})
+	if m.Trace() != 3 {
+		t.Errorf("Trace = %v, want 3", m.Trace())
+	}
+}
+
+func TestDotNormScaleAXPY(t *testing.T) {
+	a := []float64{3, 4}
+	if Dot(a, a) != 25 {
+		t.Errorf("Dot = %v, want 25", Dot(a, a))
+	}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %v, want 5", Norm2(a))
+	}
+	b := []float64{1, 1}
+	AXPY(2, a, b)
+	if b[0] != 7 || b[1] != 9 {
+		t.Errorf("AXPY result %v, want [7 9]", b)
+	}
+	Scale(b, 0.5)
+	if b[0] != 3.5 || b[1] != 4.5 {
+		t.Errorf("Scale result %v", b)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{10, 20}, {30, 40}})
+	a.AddScaled(0.1, b)
+	if !almostEqual(a.At(0, 0), 2, 1e-12) || !almostEqual(a.At(1, 1), 8, 1e-12) {
+		t.Errorf("AddScaled result %+v", a.Data)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone is not a deep copy")
+	}
+}

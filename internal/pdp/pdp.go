@@ -1,0 +1,161 @@
+// Package pdp computes one- and two-dimensional partial-dependence
+// functions of a forest over a background sample, and Friedman's
+// H-statistic built from them — the most expensive of the paper's four
+// interaction-detection strategies (§3.4).
+package pdp
+
+import (
+	"fmt"
+
+	"gef/internal/forest"
+	"gef/internal/stats"
+)
+
+// OneDimAt evaluates the one-dimensional partial-dependence function of
+// feature j at each of the given values:
+//
+//	F_j(v) = (1/|X|) Σ_b f(x_b with x_bj ← v)
+//
+// The returned values are centred to mean zero over the evaluation
+// points, as the H-statistic requires.
+func OneDimAt(f *forest.Forest, background [][]float64, j int, values []float64) []float64 {
+	if len(background) == 0 {
+		panic("pdp: empty background sample")
+	}
+	out := make([]float64, len(values))
+	row := make([]float64, len(background[0]))
+	for vi, v := range values {
+		var s float64
+		for _, b := range background {
+			copy(row, b)
+			row[j] = v
+			s += f.Predict(row)
+		}
+		out[vi] = s / float64(len(background))
+	}
+	center(out)
+	return out
+}
+
+// TwoDimAt evaluates the two-dimensional partial-dependence function of
+// features (i, j) at each paired point (vi[k], vj[k]), centred to mean
+// zero.
+func TwoDimAt(f *forest.Forest, background [][]float64, i, j int, vi, vj []float64) []float64 {
+	if len(vi) != len(vj) {
+		panic(fmt.Sprintf("pdp: paired value lengths differ: %d vs %d", len(vi), len(vj)))
+	}
+	if len(background) == 0 {
+		panic("pdp: empty background sample")
+	}
+	out := make([]float64, len(vi))
+	row := make([]float64, len(background[0]))
+	for k := range vi {
+		var s float64
+		for _, b := range background {
+			copy(row, b)
+			row[i] = vi[k]
+			row[j] = vj[k]
+			s += f.Predict(row)
+		}
+		out[k] = s / float64(len(background))
+	}
+	center(out)
+	return out
+}
+
+// Grid1D evaluates the (uncentred) one-dimensional partial dependence of
+// feature j over an explicit grid, for plotting (Figs. 9–10 comparisons).
+func Grid1D(f *forest.Forest, background [][]float64, j int, grid []float64) []float64 {
+	if len(background) == 0 {
+		panic("pdp: empty background sample")
+	}
+	out := make([]float64, len(grid))
+	row := make([]float64, len(background[0]))
+	for gi, v := range grid {
+		var s float64
+		for _, b := range background {
+			copy(row, b)
+			row[j] = v
+			s += f.Predict(row)
+		}
+		out[gi] = s / float64(len(background))
+	}
+	return out
+}
+
+// ICE computes Individual Conditional Expectation curves (Goldstein et
+// al., cited by the paper's related work): for each background row b, the
+// forest prediction as feature j sweeps the grid while the rest of b is
+// held fixed. The partial dependence is the average of these curves;
+// heterogeneity across them reveals interactions that PD averages away.
+// Returns one curve per background row, each of length len(grid).
+func ICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]float64 {
+	if len(background) == 0 {
+		panic("pdp: empty background sample")
+	}
+	out := make([][]float64, len(background))
+	row := make([]float64, len(background[0]))
+	for bi, b := range background {
+		curve := make([]float64, len(grid))
+		copy(row, b)
+		for gi, v := range grid {
+			row[j] = v
+			curve[gi] = f.Predict(row)
+		}
+		out[bi] = curve
+	}
+	return out
+}
+
+// CenteredICE returns ICE curves anchored at the first grid point
+// (c-ICE), which makes heterogeneity in slopes directly comparable.
+func CenteredICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]float64 {
+	curves := ICE(f, background, j, grid)
+	for _, c := range curves {
+		base := c[0]
+		for i := range c {
+			c[i] -= base
+		}
+	}
+	return curves
+}
+
+// HStatistic computes Friedman's pairwise H² statistic for features
+// (i, j), using sample both as the evaluation points and the background:
+//
+//	H² = Σ_k [F_ij(x_ki, x_kj) − F_i(x_ki) − F_j(x_kj)]² / Σ_k F_ij²(x_ki, x_kj)
+//
+// Cost is O(|sample|²) forest evaluations per pair, which is why the paper
+// positions Gain-Path as the cheap alternative.
+func HStatistic(f *forest.Forest, sample [][]float64, i, j int) float64 {
+	n := len(sample)
+	if n == 0 {
+		panic("pdp: empty sample")
+	}
+	vi := make([]float64, n)
+	vj := make([]float64, n)
+	for k, x := range sample {
+		vi[k] = x[i]
+		vj[k] = x[j]
+	}
+	fi := OneDimAt(f, sample, i, vi)
+	fj := OneDimAt(f, sample, j, vj)
+	fij := TwoDimAt(f, sample, i, j, vi, vj)
+	var num, den float64
+	for k := 0; k < n; k++ {
+		d := fij[k] - fi[k] - fj[k]
+		num += d * d
+		den += fij[k] * fij[k]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func center(xs []float64) {
+	m := stats.Mean(xs)
+	for i := range xs {
+		xs[i] -= m
+	}
+}

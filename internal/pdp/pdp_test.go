@@ -1,0 +1,213 @@
+package pdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gbdt"
+	"gef/internal/stats"
+)
+
+// additiveForest trains a forest on y = x₁ + sin(20·x₂), a purely additive
+// target, so PD functions have closed-form expectations.
+func additiveForest(t *testing.T, n int) (*forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	d := &dataset.Dataset{Task: dataset.Regression}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		d.X = append(d.X, []float64{x1, x2})
+		d.Y = append(d.Y, x1+math.Sin(20*x2))
+	}
+	f, err := gbdt.Train(d, gbdt.Params{NumTrees: 120, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	return f, d
+}
+
+// interactingForest trains on y = x₁·x₂ (pure interaction).
+func interactingForest(t *testing.T, n int) (*forest.Forest, *dataset.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	d := &dataset.Dataset{Task: dataset.Regression}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		d.X = append(d.X, []float64{x1, x2})
+		d.Y = append(d.Y, 4*x1*x2)
+	}
+	f, err := gbdt.Train(d, gbdt.Params{NumTrees: 120, NumLeaves: 16, LearningRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	return f, d
+}
+
+func TestOneDimAtRecoversAdditiveShape(t *testing.T) {
+	f, d := additiveForest(t, 3000)
+	grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	pd := OneDimAt(f, d.X[:200], 0, grid)
+	// For an additive model, PD of x₁ is x₁ + const; after centring,
+	// pd[k] ≈ grid[k] − mean(grid) = grid[k] − 0.5.
+	for k, g := range grid {
+		want := g - 0.5
+		if math.Abs(pd[k]-want) > 0.1 {
+			t.Errorf("PD(%v) = %v, want ≈ %v", g, pd[k], want)
+		}
+	}
+}
+
+func TestOneDimAtCentred(t *testing.T) {
+	f, d := additiveForest(t, 1000)
+	pd := OneDimAt(f, d.X[:100], 1, []float64{0.1, 0.4, 0.9})
+	if m := stats.Mean(pd); math.Abs(m) > 1e-12 {
+		t.Errorf("centred PD has mean %v", m)
+	}
+}
+
+func TestGrid1DUncentred(t *testing.T) {
+	f, d := additiveForest(t, 1000)
+	pd := Grid1D(f, d.X[:100], 0, []float64{0.2, 0.8})
+	// Uncentred PD must carry the model's level: mean ≈ E[y] ≈ 0.5 + E[sin].
+	if pd[1] <= pd[0] {
+		t.Errorf("PD should increase in x₁: %v", pd)
+	}
+	if pd[0] < -1 || pd[0] > 2 {
+		t.Errorf("uncentred PD level %v implausible", pd[0])
+	}
+}
+
+func TestTwoDimAtAdditiveDecomposes(t *testing.T) {
+	// For an additive model, F_ij(a,b) ≈ F_i(a) + F_j(b) after centring.
+	f, d := additiveForest(t, 3000)
+	bg := d.X[:150]
+	vi := []float64{0.1, 0.5, 0.9, 0.3}
+	vj := []float64{0.2, 0.8, 0.4, 0.6}
+	fij := TwoDimAt(f, bg, 0, 1, vi, vj)
+	fi := OneDimAt(f, bg, 0, vi)
+	fj := OneDimAt(f, bg, 1, vj)
+	for k := range vi {
+		if math.Abs(fij[k]-(fi[k]+fj[k])) > 0.15 {
+			t.Errorf("point %d: F_ij = %v, F_i+F_j = %v", k, fij[k], fi[k]+fj[k])
+		}
+	}
+}
+
+func TestHStatisticSeparatesInteraction(t *testing.T) {
+	fAdd, dAdd := additiveForest(t, 3000)
+	fInt, dInt := interactingForest(t, 3000)
+	hAdd := HStatistic(fAdd, dAdd.X[:120], 0, 1)
+	hInt := HStatistic(fInt, dInt.X[:120], 0, 1)
+	if hAdd < 0 || hInt < 0 {
+		t.Fatalf("H² must be non-negative: %v, %v", hAdd, hInt)
+	}
+	if hInt < 5*hAdd || hInt < 0.05 {
+		t.Errorf("interaction H² = %v should dwarf additive H² = %v", hInt, hAdd)
+	}
+}
+
+func TestHStatisticConstantModel(t *testing.T) {
+	// A forest with a single constant leaf has zero PD everywhere → H = 0.
+	f := &forest.Forest{
+		Trees:       []forest.Tree{{Nodes: []forest.Node{{Left: -1, Right: -1, Value: 1, Cover: 1}}}},
+		NumFeatures: 2,
+		Objective:   forest.Regression,
+	}
+	sample := [][]float64{{0, 0}, {1, 1}, {0.5, 0.2}}
+	if h := HStatistic(f, sample, 0, 1); h != 0 {
+		t.Errorf("H² of constant model = %v, want 0", h)
+	}
+}
+
+func TestICECurvesShapeAndMeanEqualsPD(t *testing.T) {
+	f, d := additiveForest(t, 1500)
+	bg := d.X[:60]
+	grid := []float64{0.1, 0.5, 0.9}
+	curves := ICE(f, bg, 0, grid)
+	if len(curves) != 60 || len(curves[0]) != 3 {
+		t.Fatalf("ICE shape %d×%d, want 60×3", len(curves), len(curves[0]))
+	}
+	// The mean ICE curve equals the (uncentred) partial dependence.
+	pd := Grid1D(f, bg, 0, grid)
+	for gi := range grid {
+		var mean float64
+		for _, c := range curves {
+			mean += c[gi]
+		}
+		mean /= float64(len(curves))
+		if math.Abs(mean-pd[gi]) > 1e-10 {
+			t.Errorf("mean ICE at %v = %v, PD = %v", grid[gi], mean, pd[gi])
+		}
+	}
+}
+
+func TestICEAdditiveCurvesParallel(t *testing.T) {
+	// For an additive model, ICE curves are parallel: centred curves all
+	// coincide.
+	f, d := additiveForest(t, 3000)
+	grid := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	curves := CenteredICE(f, d.X[:40], 0, grid)
+	for gi := range grid {
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		for _, c := range curves {
+			lo = math.Min(lo, c[gi])
+			hi = math.Max(hi, c[gi])
+		}
+		// A trained forest approximates the additive target with small
+		// spurious interactions, so the spread is not exactly zero — but
+		// it must stay far below the strong-interaction case (≥ 1 in
+		// TestICEInteractionCurvesDiverge).
+		if hi-lo > 0.5 {
+			t.Errorf("centred ICE spread %v at grid %d on an additive model", hi-lo, gi)
+		}
+	}
+}
+
+func TestICEInteractionCurvesDiverge(t *testing.T) {
+	// For y = 4·x₁·x₂ the slope in x₁ depends on x₂ → centred curves fan
+	// out far more than in the additive case.
+	f, d := interactingForest(t, 3000)
+	grid := []float64{0.1, 0.9}
+	curves := CenteredICE(f, d.X[:40], 0, grid)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, c := range curves {
+		lo = math.Min(lo, c[1])
+		hi = math.Max(hi, c[1])
+	}
+	if hi-lo < 1 {
+		t.Errorf("centred ICE spread %v, want ≥ 1 for a strong interaction", hi-lo)
+	}
+}
+
+func TestPanicsOnEmptyBackground(t *testing.T) {
+	f, _ := additiveForest(t, 200)
+	for name, fn := range map[string]func(){
+		"OneDimAt":   func() { OneDimAt(f, nil, 0, []float64{1}) },
+		"TwoDimAt":   func() { TwoDimAt(f, nil, 0, 1, []float64{1}, []float64{1}) },
+		"Grid1D":     func() { Grid1D(f, nil, 0, []float64{1}) },
+		"HStatistic": func() { HStatistic(f, nil, 0, 1) },
+		"ICE":        func() { ICE(f, nil, 0, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on empty background", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTwoDimAtLengthMismatchPanics(t *testing.T) {
+	f, d := additiveForest(t, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TwoDimAt(f, d.X[:10], 0, 1, []float64{1, 2}, []float64{1})
+}

@@ -1,0 +1,160 @@
+// Package plot renders small ASCII line charts for terminal inspection of
+// GAM splines, confidence bands and threshold densities — the terminal
+// analogue of the paper's matplotlib figures.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	Title  string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	if o.Height == 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Line is one named series.
+type Line struct {
+	X, Y []float64
+	Mark byte // glyph; 0 defaults per-line to '*', '+', 'o', '.'
+	Name string
+}
+
+var defaultMarks = []byte{'*', '+', 'o', '.', 'x', '#'}
+
+// Render draws the lines into a shared-axes ASCII chart.
+func Render(lines []Line, opt Options) string {
+	opt = opt.withDefaults()
+	if len(lines) == 0 {
+		return "(no data)\n"
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, l := range lines {
+		for i := range l.X {
+			if !isFinite(l.X[i]) || !isFinite(l.Y[i]) {
+				continue
+			}
+			xlo, xhi = math.Min(xlo, l.X[i]), math.Max(xhi, l.X[i])
+			ylo, yhi = math.Min(ylo, l.Y[i]), math.Max(yhi, l.Y[i])
+		}
+	}
+	if !isFinite(xlo) || !isFinite(ylo) {
+		return "(no finite data)\n"
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for li, l := range lines {
+		mark := l.Mark
+		if mark == 0 {
+			mark = defaultMarks[li%len(defaultMarks)]
+		}
+		for i := range l.X {
+			if !isFinite(l.X[i]) || !isFinite(l.Y[i]) {
+				continue
+			}
+			c := int(math.Round((l.X[i] - xlo) / (xhi - xlo) * float64(opt.Width-1)))
+			r := opt.Height - 1 - int(math.Round((l.Y[i]-ylo)/(yhi-ylo)*float64(opt.Height-1)))
+			if c >= 0 && c < opt.Width && r >= 0 && r < opt.Height {
+				grid[r][c] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		b.WriteString(opt.Title + "\n")
+	}
+	yLabelW := 10
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", yhi)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%9.3g", ylo)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		b.WriteString(label + " |" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW) + "+" + strings.Repeat("-", opt.Width) + "\n")
+	xAxis := fmt.Sprintf("%-*.3g%*.3g", opt.Width/2, xlo, opt.Width/2, xhi)
+	b.WriteString(strings.Repeat(" ", yLabelW+1) + xAxis + "\n")
+	var legend []string
+	for li, l := range lines {
+		if l.Name == "" {
+			continue
+		}
+		mark := l.Mark
+		if mark == 0 {
+			mark = defaultMarks[li%len(defaultMarks)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", mark, l.Name))
+	}
+	if len(legend) > 0 {
+		b.WriteString(strings.Repeat(" ", yLabelW+1) + strings.Join(legend, "   ") + "\n")
+	}
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart (for local-explanation
+// contribution views, Fig. 11/12 style).
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("plot: labels/values length mismatch")
+	}
+	if width == 0 {
+		width = 40
+	}
+	var maxAbs float64
+	labelW := 0
+	for i, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	half := width / 2
+	var b strings.Builder
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(half)))
+		var bar string
+		if v >= 0 {
+			bar = strings.Repeat(" ", half) + "|" + strings.Repeat("#", n) + strings.Repeat(" ", half-n)
+		} else {
+			bar = strings.Repeat(" ", half-n) + strings.Repeat("#", n) + "|" + strings.Repeat(" ", half)
+		}
+		fmt.Fprintf(&b, "%-*s %s %+.4f\n", labelW, labels[i], bar, v)
+	}
+	return b.String()
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicLine(t *testing.T) {
+	out := Render([]Line{{
+		X:    []float64{0, 1, 2},
+		Y:    []float64{0, 1, 2},
+		Name: "diag",
+		Mark: '*',
+	}}, Options{Title: "test chart", Width: 20, Height: 5})
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* diag") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marks missing")
+	}
+	// An increasing line puts a mark in the top row and the bottom row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") { // first grid row (after title)
+		t.Error("no mark in the top row for the max value")
+	}
+	if !strings.Contains(lines[5], "*") { // last grid row
+		t.Error("no mark in the bottom row for the min value")
+	}
+}
+
+func TestRenderAxisLabels(t *testing.T) {
+	out := Render([]Line{{X: []float64{-3, 7}, Y: []float64{2, 12}}}, Options{Width: 30, Height: 4})
+	if !strings.Contains(out, "12") || !strings.Contains(out, "2") {
+		t.Errorf("y-axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-3") || !strings.Contains(out, "7") {
+		t.Errorf("x-axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+	out := Render([]Line{{X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("NaN render = %q", out)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	out := Render([]Line{{
+		X: []float64{0, 1, 2},
+		Y: []float64{0, math.Inf(1), 2},
+	}}, Options{Width: 10, Height: 4})
+	if strings.Contains(out, "+Inf") {
+		t.Error("infinite value leaked into output")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Render([]Line{{X: []float64{1, 1}, Y: []float64{5, 5}}}, Options{Width: 10, Height: 3})
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series lost:\n%s", out)
+	}
+}
+
+func TestRenderMultipleLinesDistinctMarks(t *testing.T) {
+	out := Render([]Line{
+		{X: []float64{0, 1}, Y: []float64{0, 1}, Name: "a"},
+		{X: []float64{0, 1}, Y: []float64{1, 0}, Name: "b"},
+	}, Options{Width: 16, Height: 4})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("default marks not assigned:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"up", "down"}, []float64{1.5, -0.75}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "+1.5000") || !strings.Contains(lines[1], "-0.7500") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	// Positive bar extends right of the pivot, negative left.
+	pivot0 := strings.Index(lines[0], "|")
+	if !strings.Contains(lines[0][pivot0:], "#") {
+		t.Error("positive bar should extend right")
+	}
+	pivot1 := strings.Index(lines[1], "|")
+	if !strings.Contains(lines[1][:pivot1], "#") {
+		t.Error("negative bar should extend left")
+	}
+	// The longer magnitude gets the longer bar.
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Error("bar lengths should scale with magnitude")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "+0.0000") {
+		t.Errorf("zero bar broken: %q", out)
+	}
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}

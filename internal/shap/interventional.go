@@ -1,0 +1,148 @@
+package shap
+
+import "gef/internal/forest"
+
+// InterventionalValues computes SHAP values under the interventional
+// (marginal) value function v(S) = E_b[f(x_S, b_{S̄})] over an explicit
+// background sample, instead of the path-dependent cover-weighted
+// expectation of Values. This is the "true to the data" variant of
+// Lundberg et al. (2020); the two agree when features are independent
+// and the covers reflect the background distribution.
+//
+// For each tree and background row, the exact per-leaf Shapley
+// contribution has a closed form: with P the path features where only x
+// satisfies the path constraints and N those where only the background
+// row does (a leaf with any feature satisfied by neither is unreachable
+// in every coalition),
+//
+//	φ_i += leaf · (|P|−1)!·|N|! / (|P|+|N|)!   for i ∈ P
+//	φ_i −= leaf · |P|!·(|N|−1)! / (|P|+|N|)!   for i ∈ N
+//
+// Cost is O(|background| · nodes).
+func InterventionalValues(f *forest.Forest, x []float64, background [][]float64) (phi []float64, base float64) {
+	if len(background) == 0 {
+		panic("shap: empty background sample")
+	}
+	phi = make([]float64, f.NumFeatures)
+	base = f.BaseScore
+	inv := 1 / float64(len(background))
+	for _, b := range background {
+		for ti := range f.Trees {
+			base += interventionalTree(&f.Trees[ti], x, b, phi, inv) * inv
+		}
+	}
+	return phi, base
+}
+
+// featState tracks whether x and b satisfy all constraints seen so far
+// for one feature on the current path.
+type featState struct {
+	xOK, bOK bool
+}
+
+// interventionalTree accumulates weighted φ contributions for one
+// (tree, background row) pair and returns v(∅) for that pair — the value
+// the tree takes when every feature comes from b.
+func interventionalTree(t *forest.Tree, x, b []float64, phi []float64, w float64) float64 {
+	state := make(map[int]featState)
+	var pathFeats []int
+	var vEmpty float64
+
+	var walk func(node int)
+	walk = func(node int) {
+		n := &t.Nodes[node]
+		if n.IsLeaf() {
+			// Classify path features.
+			var p, nn int
+			for _, fj := range pathFeats {
+				st := state[fj]
+				switch {
+				case st.xOK && st.bOK:
+					// irrelevant: satisfied either way
+				case !st.xOK && !st.bOK:
+					return // unreachable in every coalition
+				case st.xOK:
+					p++
+				default:
+					nn++
+				}
+			}
+			if p == 0 && nn == 0 {
+				vEmpty += n.Value
+				return
+			}
+			if p == 0 {
+				// Reached only when all N features stay at b: the empty
+				// coalition reaches it.
+				vEmpty += n.Value
+			}
+			total := factorial(p + nn)
+			if p > 0 {
+				share := n.Value * factorial(p-1) * factorial(nn) / total * w
+				for _, fj := range pathFeats {
+					st := state[fj]
+					if st.xOK && !st.bOK {
+						phi[fj] += share
+					}
+				}
+			}
+			if nn > 0 {
+				share := n.Value * factorial(p) * factorial(nn-1) / total * w
+				for _, fj := range pathFeats {
+					st := state[fj]
+					if !st.xOK && st.bOK {
+						phi[fj] -= share
+					}
+				}
+			}
+			return
+		}
+
+		prev, seen := state[n.Feature]
+		if !seen {
+			pathFeats = append(pathFeats, n.Feature)
+		}
+		xLeft := x[n.Feature] <= n.Threshold
+		bLeft := b[n.Feature] <= n.Threshold
+
+		// Descend left: constraint is "≤ threshold".
+		cur := featState{xOK: xLeft, bOK: bLeft}
+		if seen {
+			cur.xOK = cur.xOK && prev.xOK
+			cur.bOK = cur.bOK && prev.bOK
+		}
+		if cur.xOK || cur.bOK {
+			state[n.Feature] = cur
+			walk(n.Left)
+		}
+		// Descend right: constraint is "> threshold".
+		cur = featState{xOK: !xLeft, bOK: !bLeft}
+		if seen {
+			cur.xOK = cur.xOK && prev.xOK
+			cur.bOK = cur.bOK && prev.bOK
+		}
+		if cur.xOK || cur.bOK {
+			state[n.Feature] = cur
+			walk(n.Right)
+		}
+		// Restore.
+		if seen {
+			state[n.Feature] = prev
+		} else {
+			delete(state, n.Feature)
+			pathFeats = pathFeats[:len(pathFeats)-1]
+		}
+	}
+	walk(0)
+	return vEmpty
+}
+
+// factorial returns n! as float64 (paths are far shorter than the 170!
+// float64 overflow bound).
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,176 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gbdt"
+)
+
+// bruteForceInterventional computes exact Shapley values of the game
+// v(S) = mean_b f(x_S, b_{S̄}) by subset enumeration.
+func bruteForceInterventional(f *forest.Forest, x []float64, background [][]float64) []float64 {
+	d := f.NumFeatures
+	phi := make([]float64, d)
+	var fact func(n int) float64
+	fact = func(n int) float64 {
+		if n <= 1 {
+			return 1
+		}
+		return float64(n) * fact(n-1)
+	}
+	value := func(mask int) float64 {
+		var s float64
+		z := make([]float64, d)
+		for _, b := range background {
+			for j := 0; j < d; j++ {
+				if mask&(1<<j) != 0 {
+					z[j] = x[j]
+				} else {
+					z[j] = b[j]
+				}
+			}
+			s += f.RawPredict(z)
+		}
+		return s / float64(len(background))
+	}
+	for i := 0; i < d; i++ {
+		for mask := 0; mask < 1<<d; mask++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			s := popcount(mask)
+			w := fact(s) * fact(d-s-1) / fact(d)
+			phi[i] += w * (value(mask|1<<i) - value(mask))
+		}
+	}
+	return phi
+}
+
+func TestInterventionalMatchesBruteForce(t *testing.T) {
+	f := depth2Forest()
+	r := rand.New(rand.NewSource(41))
+	background := make([][]float64, 7)
+	for i := range background {
+		background[i] = []float64{r.Float64(), r.Float64()}
+	}
+	points := [][]float64{
+		{0.2, 0.1}, {0.8, 0.9}, {0.5, 0.5}, {0.2, 0.9},
+	}
+	for _, x := range points {
+		phi, _ := InterventionalValues(f, x, background)
+		want := bruteForceInterventional(f, x, background)
+		for i := range want {
+			if math.Abs(phi[i]-want[i]) > 1e-9 {
+				t.Errorf("x=%v: φ[%d] = %v, want %v", x, i, phi[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInterventionalMatchesBruteForceTrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d := &dataset.Dataset{Task: dataset.Regression}
+	for i := 0; i < 400; i++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, row[0]+3*row[1]*row[2])
+	}
+	f, err := gbdt.Train(d, gbdt.Params{NumTrees: 8, NumLeaves: 8, MinSamplesLeaf: 10, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	background := d.X[:6]
+	for _, x := range d.X[10:14] {
+		phi, _ := InterventionalValues(f, x, background)
+		want := bruteForceInterventional(f, x, background)
+		for i := range want {
+			if math.Abs(phi[i]-want[i]) > 1e-8 {
+				t.Errorf("x=%v: φ[%d] = %v, want %v", x, i, phi[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInterventionalLocalAccuracy(t *testing.T) {
+	// Σφ + base = f(x) with base = mean_b f(b).
+	d := dataset.GPrime(500, 0.1, 47)
+	f, err := gbdt.Train(d, gbdt.Params{NumTrees: 20, NumLeaves: 8, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	background := d.X[:30]
+	var wantBase float64
+	for _, b := range background {
+		wantBase += f.RawPredict(b)
+	}
+	wantBase /= float64(len(background))
+	for _, x := range d.X[100:110] {
+		phi, base := InterventionalValues(f, x, background)
+		if math.Abs(base-wantBase) > 1e-8 {
+			t.Fatalf("base = %v, want mean background prediction %v", base, wantBase)
+		}
+		sum := base
+		for _, v := range phi {
+			sum += v
+		}
+		if math.Abs(sum-f.RawPredict(x)) > 1e-8 {
+			t.Errorf("Σφ+base = %v, raw = %v", sum, f.RawPredict(x))
+		}
+	}
+}
+
+func TestInterventionalSelfBackgroundIsZero(t *testing.T) {
+	// With the instance itself as the only background row, every
+	// coalition yields f(x) → all attributions vanish.
+	f := depth2Forest()
+	x := []float64{0.3, 0.6}
+	phi, base := InterventionalValues(f, x, [][]float64{x})
+	for i, v := range phi {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("φ[%d] = %v, want 0", i, v)
+		}
+	}
+	if math.Abs(base-f.RawPredict(x)) > 1e-12 {
+		t.Errorf("base = %v, want f(x) = %v", base, f.RawPredict(x))
+	}
+}
+
+func TestInterventionalEmptyBackgroundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InterventionalValues(depth2Forest(), []float64{0, 0}, nil)
+}
+
+func TestInterventionalVsPathDependent(t *testing.T) {
+	// On uniform independent features with covers from the same
+	// distribution, the two variants should broadly agree in sign and
+	// ranking for the dominant feature.
+	d := dataset.GPrime(1500, 0.1, 53)
+	f, err := gbdt.Train(d, gbdt.Params{NumTrees: 40, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("training: %v", err)
+	}
+	x := d.X[0]
+	phiPath, _ := Values(f, x)
+	phiInt, _ := InterventionalValues(f, x, d.X[:100])
+	// Same top-magnitude feature.
+	top := func(phi []float64) int {
+		best := 0
+		for i, v := range phi {
+			if math.Abs(v) > math.Abs(phi[best]) {
+				best = i
+			}
+		}
+		return best
+	}
+	if top(phiPath) != top(phiInt) {
+		t.Errorf("variants disagree on the top feature: %v vs %v", phiPath, phiInt)
+	}
+}

@@ -1,0 +1,198 @@
+// Package shap implements path-dependent TreeSHAP (Lundberg et al.,
+// "Consistent Individualized Feature Attribution for Tree Ensembles"),
+// the explanation baseline the paper compares GEF against in §5.3.
+// Attributions are computed on the forest's raw (margin) score, using the
+// per-node training covers recorded in the forest, and satisfy local
+// accuracy: Σᵢ φᵢ = f(x) − E[f].
+package shap
+
+import (
+	"math"
+	"sort"
+
+	"gef/internal/forest"
+)
+
+// pathElem is one entry of the feature path maintained by the TreeSHAP
+// recursion.
+type pathElem struct {
+	d int     // feature index of the split that created this entry (-1 at root)
+	z float64 // fraction of "zero" (feature-absent) paths flowing through
+	o float64 // fraction of "one" (feature-present) paths flowing through
+	w float64 // proportion of feature subsets of the matching cardinality
+}
+
+// Values computes the SHAP attribution vector φ for instance x: one value
+// per input feature on the raw-score scale. The base value (expected raw
+// score) is returned alongside; f(x)_raw = base + Σ φ.
+func Values(f *forest.Forest, x []float64) (phi []float64, base float64) {
+	phi = make([]float64, f.NumFeatures)
+	base = f.BaseScore
+	for ti := range f.Trees {
+		t := &f.Trees[ti]
+		base += expectedValue(t, 0)
+		treeShap(t, x, phi)
+	}
+	return phi, base
+}
+
+// expectedValue returns the cover-weighted mean leaf value of the subtree
+// rooted at node i — the path-dependent E[f] for that tree.
+func expectedValue(t *forest.Tree, i int) float64 {
+	n := &t.Nodes[i]
+	if n.IsLeaf() {
+		return n.Value
+	}
+	l, r := &t.Nodes[n.Left], &t.Nodes[n.Right]
+	return (l.Cover*expectedValue(t, n.Left) + r.Cover*expectedValue(t, n.Right)) / n.Cover
+}
+
+func treeShap(t *forest.Tree, x []float64, phi []float64) {
+	recurse(t, x, phi, 0, nil, 1, 1, -1)
+}
+
+// recurse implements Algorithm 2 of Lundberg et al. (2018), 0-indexed.
+func recurse(t *forest.Tree, x []float64, phi []float64, j int, m []pathElem, pz, po float64, pi int) {
+	m = extend(m, pz, po, pi)
+	n := &t.Nodes[j]
+	if n.IsLeaf() {
+		for i := 1; i < len(m); i++ {
+			w := sumUnwoundWeights(m, i)
+			phi[m[i].d] += w * (m[i].o - m[i].z) * n.Value
+		}
+		return
+	}
+	hot, cold := n.Left, n.Right
+	if x[n.Feature] > n.Threshold {
+		hot, cold = n.Right, n.Left
+	}
+	iz, io := 1.0, 1.0
+	if k := findFirst(m, n.Feature); k >= 0 {
+		iz, io = m[k].z, m[k].o
+		m = unwind(m, k)
+	}
+	rj := t.Nodes[j].Cover
+	recurse(t, x, phi, hot, m, iz*t.Nodes[hot].Cover/rj, io, n.Feature)
+	recurse(t, x, phi, cold, m, iz*t.Nodes[cold].Cover/rj, 0, n.Feature)
+}
+
+// extend grows the path with a new (pz, po, pi) fraction pair, updating
+// the subset-cardinality weights.
+func extend(m []pathElem, pz, po float64, pi int) []pathElem {
+	l := len(m)
+	out := make([]pathElem, l+1)
+	copy(out, m)
+	w := 0.0
+	if l == 0 {
+		w = 1
+	}
+	out[l] = pathElem{d: pi, z: pz, o: po, w: w}
+	for i := l - 1; i >= 0; i-- {
+		out[i+1].w += po * out[i].w * float64(i+1) / float64(l+1)
+		out[i].w = pz * out[i].w * float64(l-i) / float64(l+1)
+	}
+	return out
+}
+
+// unwind removes path element i, undoing the corresponding extend.
+func unwind(m []pathElem, i int) []pathElem {
+	l := len(m) - 1
+	out := make([]pathElem, l)
+	copy(out, m[:l])
+	n := m[l].w
+	oi, zi := m[i].o, m[i].z
+	for j := l - 1; j >= 0; j-- {
+		if oi != 0 {
+			tmp := out[j].w
+			out[j].w = n * float64(l+1) / (float64(j+1) * oi)
+			n = tmp - out[j].w*zi*float64(l-j)/float64(l+1)
+		} else {
+			out[j].w = out[j].w * float64(l+1) / (zi * float64(l-j))
+		}
+	}
+	for j := i; j < l; j++ {
+		out[j].d, out[j].z, out[j].o = m[j+1].d, m[j+1].z, m[j+1].o
+	}
+	return out
+}
+
+// sumUnwoundWeights returns Σ w of the path with element i unwound,
+// without materializing the unwound path beyond its weights.
+func sumUnwoundWeights(m []pathElem, i int) float64 {
+	var total float64
+	l := len(m) - 1
+	n := m[l].w
+	oi, zi := m[i].o, m[i].z
+	for j := l - 1; j >= 0; j-- {
+		if oi != 0 {
+			tmp := n * float64(l+1) / (float64(j+1) * oi)
+			total += tmp
+			n = m[j].w - tmp*zi*float64(l-j)/float64(l+1)
+		} else {
+			total += m[j].w * float64(l+1) / (zi * float64(l-j))
+		}
+	}
+	return total
+}
+
+func findFirst(m []pathElem, d int) int {
+	for i := 1; i < len(m); i++ { // element 0 is the root sentinel (d = -1)
+		if m[i].d == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attribution pairs a feature with its SHAP value.
+type Attribution struct {
+	Feature int
+	Value   float64
+}
+
+// TopAttributions returns the k attributions with the largest magnitude,
+// sorted by decreasing |value|.
+func TopAttributions(phi []float64, k int) []Attribution {
+	out := make([]Attribution, 0, len(phi))
+	for f, v := range phi {
+		out = append(out, Attribution{Feature: f, Value: v})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return math.Abs(out[a].Value) > math.Abs(out[b].Value)
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// GlobalImportance aggregates local explanations into a global view, as
+// the paper describes SHAP being used globally: the mean |φᵢ| over the
+// sample for every feature.
+func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
+	imp := make([]float64, f.NumFeatures)
+	for _, x := range sample {
+		phi, _ := Values(f, x)
+		for i, v := range phi {
+			imp[i] += math.Abs(v)
+		}
+	}
+	for i := range imp {
+		imp[i] /= float64(len(sample))
+	}
+	return imp
+}
+
+// DependenceSeries returns the SHAP dependence scatter for feature j over
+// the sample: pairs (x_j, φ_j), the representation the paper's Figs. 9b
+// and 10b plot.
+func DependenceSeries(f *forest.Forest, sample [][]float64, j int) (xs, phis []float64) {
+	xs = make([]float64, len(sample))
+	phis = make([]float64, len(sample))
+	for i, x := range sample {
+		phi, _ := Values(f, x)
+		xs[i] = x[j]
+		phis[i] = phi[j]
+	}
+	return xs, phis
+}

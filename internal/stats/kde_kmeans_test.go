@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	k := NewKDE(xs, 0)
+	// Trapezoidal integration over a wide interval.
+	grid, dens := k.Grid(-8, 8, 1601)
+	var integral float64
+	for i := 1; i < len(grid); i++ {
+		integral += 0.5 * (dens[i] + dens[i-1]) * (grid[i] - grid[i-1])
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Errorf("KDE integral = %v, want ≈ 1", integral)
+	}
+}
+
+func TestKDEPeakNearMode(t *testing.T) {
+	// Tight cluster at 5 → density should peak near 5.
+	xs := []float64{4.9, 5.0, 5.1, 5.0, 4.95, 5.05}
+	k := NewKDE(xs, 0)
+	if k.Density(5) <= k.Density(3) {
+		t.Error("density at mode should exceed density far away")
+	}
+}
+
+func TestKDEExplicitBandwidth(t *testing.T) {
+	k := NewKDE([]float64{0}, 2)
+	if k.Bandwidth() != 2 {
+		t.Errorf("Bandwidth = %v, want 2", k.Bandwidth())
+	}
+	// Single point with h=2: density at 0 is 1/(2·sqrt(2π)).
+	want := 1 / (2 * math.Sqrt(2*math.Pi))
+	if got := k.Density(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Density(0) = %v, want %v", got, want)
+	}
+}
+
+func TestKDEEmpty(t *testing.T) {
+	k := NewKDE(nil, 0)
+	if k.Density(0) != 0 {
+		t.Error("empty KDE density should be 0")
+	}
+}
+
+func TestKDEGridPanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKDE([]float64{1}, 1).Grid(0, 1, 1)
+}
+
+func TestKMeans1DTwoClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, rng.NormFloat64()*0.1)    // cluster at 0
+		xs = append(xs, 10+rng.NormFloat64()*0.1) // cluster at 10
+	}
+	c := KMeans1D(xs, 2, rng)
+	if len(c) != 2 {
+		t.Fatalf("got %d centroids, want 2", len(c))
+	}
+	if math.Abs(c[0]) > 0.5 || math.Abs(c[1]-10) > 0.5 {
+		t.Errorf("centroids = %v, want ≈ [0, 10]", c)
+	}
+}
+
+func TestKMeans1DFewerDistinctThanK(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 2}
+	c := KMeans1D(xs, 5, rand.New(rand.NewSource(1)))
+	if len(c) != 2 || c[0] != 1 || c[1] != 2 {
+		t.Errorf("centroids = %v, want [1 2]", c)
+	}
+}
+
+func TestKMeans1DEmpty(t *testing.T) {
+	if c := KMeans1D(nil, 3, rand.New(rand.NewSource(1))); c != nil {
+		t.Errorf("centroids of empty input = %v, want nil", c)
+	}
+}
+
+func TestKMeans1DInvalidKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KMeans1D([]float64{1}, 0, rand.New(rand.NewSource(1)))
+}
+
+// Property: centroids are sorted, within the data range, and there are
+// min(k, distinct) of them.
+func TestKMeans1DProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		k := 1 + r.Intn(8)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		c := KMeans1D(xs, k, r)
+		if !sort.Float64sAreSorted(c) {
+			return false
+		}
+		nd := len(distinctSorted(xs))
+		wantLen := k
+		if nd < k {
+			wantLen = nd
+		}
+		if len(c) != wantLen {
+			return false
+		}
+		lo, hi := Min(xs), Max(xs)
+		for _, v := range c {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctSorted(t *testing.T) {
+	got := distinctSorted([]float64{3, 1, 3, 2, 1})
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("distinct[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

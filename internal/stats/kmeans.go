@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KMeans1D clusters the one-dimensional values xs into k clusters with
+// Lloyd's algorithm and k-means++ initialization, returning the sorted
+// cluster centroids. If xs has fewer than k distinct values, the distinct
+// values themselves are returned (paper §3.3: k = min(|V_i|, K)).
+//
+// The rng drives only the k-means++ seeding, so results are reproducible
+// for a fixed source.
+func KMeans1D(xs []float64, k int, rng *rand.Rand) []float64 {
+	if k <= 0 {
+		panic("stats: KMeans1D needs k ≥ 1")
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	distinct := distinctSorted(xs)
+	if len(distinct) <= k {
+		return distinct
+	}
+	data := append([]float64(nil), xs...)
+	sort.Float64s(data)
+
+	centroids := kmeansPPInit(data, k, rng)
+	assign := make([]int, len(data))
+	const maxIter = 100
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step. Data and centroids are sorted, so a linear merge
+		// suffices: the best centroid index is non-decreasing along data.
+		sort.Float64s(centroids)
+		c := 0
+		for i, x := range data {
+			for c+1 < len(centroids) &&
+				math.Abs(centroids[c+1]-x) <= math.Abs(centroids[c]-x) {
+				c++
+			}
+			if assign[i] != c {
+				assign[i] = c
+				changed = true
+			}
+		}
+		// Update step.
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for i, x := range data {
+			sum[assign[i]] += x
+			cnt[assign[i]]++
+		}
+		for j := 0; j < k; j++ {
+			if cnt[j] > 0 {
+				centroids[j] = sum[j] / float64(cnt[j])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	sort.Float64s(centroids)
+	return centroids
+}
+
+// kmeansPPInit picks k initial centroids with the k-means++ scheme.
+func kmeansPPInit(data []float64, k int, rng *rand.Rand) []float64 {
+	centroids := make([]float64, 0, k)
+	centroids = append(centroids, data[rng.Intn(len(data))])
+	d2 := make([]float64, len(data))
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, x := range data {
+			d := x - last
+			d *= d
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, data[rng.Intn(len(data))])
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := len(data) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, data[pick])
+	}
+	return centroids
+}
+
+func distinctSorted(xs []float64) []float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return append([]float64(nil), out...)
+}

@@ -1,0 +1,251 @@
+// Package stats collects the statistical helpers used across GEF:
+// regression/ranking metrics, summary statistics, Welch's t-test,
+// Gaussian kernel density estimation, quantiles and one-dimensional
+// k-means clustering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RMSE returns the root mean squared error between predictions and targets.
+func RMSE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("stats: RMSE length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MSE returns the mean squared error between predictions and targets.
+func MSE(pred, target []float64) float64 {
+	r := RMSE(pred, target)
+	return r * r
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - target[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of pred w.r.t. target:
+// 1 − Σ(y−ŷ)²/Σ(y−ȳ)². A constant target yields NaN.
+func R2(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("stats: R2 length mismatch")
+	}
+	if len(target) == 0 {
+		return math.NaN()
+	}
+	mean := Mean(target)
+	var ssRes, ssTot float64
+	for i, y := range target {
+		r := y - pred[i]
+		ssRes += r * r
+		d := y - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Accuracy returns the fraction of predictions whose sign-thresholded class
+// (p ≥ 0.5) matches the binary target in {0, 1}.
+func Accuracy(prob, target []float64) float64 {
+	if len(prob) != len(target) {
+		panic("stats: Accuracy length mismatch")
+	}
+	if len(prob) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range prob {
+		cls := 0.0
+		if p >= 0.5 {
+			cls = 1
+		}
+		if cls == target[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(prob))
+}
+
+// LogLoss returns the mean binary cross-entropy of probabilities prob
+// against targets in {0, 1}. Probabilities are clipped to (ε, 1−ε).
+func LogLoss(prob, target []float64) float64 {
+	if len(prob) != len(target) {
+		panic("stats: LogLoss length mismatch")
+	}
+	if len(prob) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	var s float64
+	for i, p := range prob {
+		p = math.Min(math.Max(p, eps), 1-eps)
+		if target[i] >= 0.5 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	return s / float64(len(prob))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary bundles the four summary statistics the paper reports in Table 1.
+type Summary struct {
+	Mean, SD, Min, Max float64
+}
+
+// Summarize computes mean, sample SD, min and max of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), SD: StdDev(xs), Min: Min(xs), Max: Max(xs)}
+}
+
+// AveragePrecision computes the ranking Average Precision of a scored
+// ranking against a set of relevant item indices. scores[i] is the score
+// of item i; relevant marks which items are relevant. Items are ranked by
+// decreasing score (ties broken by index for determinism), and
+// AP = (1/|relevant|) Σ_k precision@k over the ranks k of relevant items.
+func AveragePrecision(scores []float64, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var hits int
+	var sum float64
+	for rank, idx := range order {
+		if relevant[idx] {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// The input need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// QuantileSorted is like Quantile but assumes xs is already sorted
+// ascending, avoiding the copy.
+func QuantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: QuantileSorted of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	return quantileSorted(xs, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if got != 0 {
+		t.Errorf("RMSE of identical = %v, want 0", got)
+	}
+	got = RMSE([]float64{0, 0}, []float64{3, 4})
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSEEmpty(t *testing.T) {
+	if RMSE(nil, nil) != 0 {
+		t.Error("RMSE of empty should be 0")
+	}
+}
+
+func TestRMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAEAndMSE(t *testing.T) {
+	pred := []float64{1, 2}
+	tgt := []float64{2, 4}
+	if got := MAE(pred, tgt); got != 1.5 {
+		t.Errorf("MAE = %v, want 1.5", got)
+	}
+	if got := MSE(pred, tgt); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("MSE = %v, want 2.5", got)
+	}
+}
+
+func TestR2Perfect(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := R2(y, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("R2 perfect = %v, want 1", got)
+	}
+}
+
+func TestR2MeanPredictor(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	pred := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(pred, y); math.Abs(got) > 1e-12 {
+		t.Errorf("R2 of mean predictor = %v, want 0", got)
+	}
+}
+
+func TestR2ConstantTargetNaN(t *testing.T) {
+	if got := R2([]float64{1, 2}, []float64{5, 5}); !math.IsNaN(got) {
+		t.Errorf("R2 with constant target = %v, want NaN", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	prob := []float64{0.9, 0.2, 0.6, 0.4}
+	tgt := []float64{1, 0, 0, 0}
+	if got := Accuracy(prob, tgt); got != 0.75 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfect confident predictions → near-zero loss.
+	if got := LogLoss([]float64{1, 0}, []float64{1, 0}); got > 1e-10 {
+		t.Errorf("LogLoss perfect = %v, want ~0", got)
+	}
+	// p = 0.5 everywhere → ln 2.
+	got := LogLoss([]float64{0.5, 0.5}, []float64{1, 0})
+	if math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("LogLoss 0.5 = %v, want ln2", got)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v, want -1/5", Min(xs), Max(xs))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.SD-1) > 1e-12 {
+		t.Errorf("SD = %v, want 1", s.SD)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	// Relevant items ranked first → AP = 1.
+	scores := []float64{0.9, 0.8, 0.1, 0.2}
+	rel := map[int]bool{0: true, 1: true}
+	if got := AveragePrecision(scores, rel); got != 1 {
+		t.Errorf("AP = %v, want 1", got)
+	}
+}
+
+func TestAveragePrecisionWorst(t *testing.T) {
+	// Single relevant item ranked last of 4 → AP = 1/4.
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	rel := map[int]bool{3: true}
+	if got := AveragePrecision(scores, rel); got != 0.25 {
+		t.Errorf("AP = %v, want 0.25", got)
+	}
+}
+
+func TestAveragePrecisionInterleaved(t *testing.T) {
+	// Relevant at ranks 1 and 3 → AP = (1/1 + 2/3)/2 = 5/6.
+	scores := []float64{0.9, 0.5, 0.8, 0.1}
+	rel := map[int]bool{0: true, 1: true}
+	want := (1.0 + 2.0/3.0) / 2
+	if got := AveragePrecision(scores, rel); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+}
+
+func TestAveragePrecisionEmptyRelevant(t *testing.T) {
+	if got := AveragePrecision([]float64{1, 2}, nil); got != 0 {
+		t.Errorf("AP = %v, want 0", got)
+	}
+}
+
+// Property: AP is always in [1/n, 1] when there is at least one relevant
+// item among n scored items.
+func TestAveragePrecisionBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = r.Float64()
+		}
+		rel := map[int]bool{r.Intn(n): true}
+		ap := AveragePrecision(scores, rel)
+		return ap >= 1/float64(n)-1e-12 && ap <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Min":            func() { Min(nil) },
+		"Max":            func() { Max(nil) },
+		"QuantileSorted": func() { QuantileSorted(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on empty input", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMAEEmptyAndMismatch(t *testing.T) {
+	if MAE(nil, nil) != 0 {
+		t.Error("MAE of empty should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	sorted := []float64{1, 2, 3, 4, 5}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if Quantile(xs, q) != QuantileSorted(sorted, q) {
+			t.Errorf("Quantile and QuantileSorted disagree at q=%v", q)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	// Interpolated: q=1/3 over [1,2,3,4] is exactly 2 (type-7).
+	if got := Quantile(xs, 1.0/3.0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q1/3 = %v, want 2", got)
+	}
+}
+
+func TestQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-12 || v < Min(xs)-1e-12 || v > Max(xs)+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile confidence interval for a statistic
+// of xs by non-parametric bootstrap: resamples draws with replacement,
+// applies stat, and takes the (1±level)/2 quantiles of the resampled
+// distribution. Used to put uncertainty on the Table 1 AP summaries.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, level float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if resamples < 2 {
+		panic("stats: BootstrapCI needs ≥ 2 resamples")
+	}
+	if level <= 0 || level >= 1 {
+		panic("stats: BootstrapCI level must be in (0,1)")
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[rng.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	return QuantileSorted(vals, alpha), QuantileSorted(vals, 1-alpha)
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient of two
+// equal-length samples (NaN for degenerate inputs).
+func PearsonCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: correlation length mismatch")
+	}
+	if len(a) < 2 {
+		return math.NaN()
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return math.NaN()
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// SpearmanCorrelation returns the Spearman rank correlation of two
+// equal-length samples: the Pearson correlation of their mid-ranks
+// (ties averaged). Useful for comparing explanation rankings.
+func SpearmanCorrelation(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: correlation length mismatch")
+	}
+	return PearsonCorrelation(ranks(a), ranks(b))
+}
+
+// ranks assigns mid-ranks (1-based, ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return xs[order[i]] < xs[order[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[order[j+1]] == xs[order[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[order[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 5 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, Mean, 1000, 0.95, rng)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 5 || hi < 5 {
+		t.Errorf("95%% CI [%v, %v] misses the true mean 5", lo, hi)
+	}
+	// Interval width for n=200, sd=1 should be around 2·1.96/√200 ≈ 0.28.
+	if w := hi - lo; w < 0.1 || w > 0.6 {
+		t.Errorf("interval width %v implausible", w)
+	}
+}
+
+func TestBootstrapCIWiderAtHigherLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	lo90, hi90 := BootstrapCI(xs, Mean, 800, 0.90, rand.New(rand.NewSource(1)))
+	lo99, hi99 := BootstrapCI(xs, Mean, 800, 0.99, rand.New(rand.NewSource(1)))
+	if hi99-lo99 <= hi90-lo90 {
+		t.Errorf("99%% interval (%v) not wider than 90%% (%v)", hi99-lo99, hi90-lo90)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []func(){
+		func() { BootstrapCI(nil, Mean, 10, 0.95, rng) },
+		func() { BootstrapCI([]float64{1}, Mean, 1, 0.95, rng) },
+		func() { BootstrapCI([]float64{1}, Mean, 10, 1.5, rng) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := PearsonCorrelation(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("corr(a,a) = %v, want 1", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := PearsonCorrelation(a, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("corr(a,-a) = %v, want -1", got)
+	}
+	if got := PearsonCorrelation(a, []float64{2, 2, 2, 2}); !math.IsNaN(got) {
+		t.Errorf("corr with constant = %v, want NaN", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly increasing transform gives Spearman exactly 1.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{1, 8, 27, 64, 125} // a³
+	if got := SpearmanCorrelation(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman of monotone transform = %v, want 1", got)
+	}
+	// Pearson of the same data is below 1 (nonlinear).
+	if got := PearsonCorrelation(a, b); got >= 1-1e-9 {
+		t.Errorf("Pearson of cubic = %v, expected < 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Mid-rank handling: [1, 1, 2] vs [3, 3, 4] is still perfectly
+	// concordant.
+	got := SpearmanCorrelation([]float64{1, 1, 2}, []float64{3, 3, 4})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman with ties = %v, want 1", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{10, 30, 20, 30})
+	want := []float64{1, 3.5, 2, 3.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ranks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogGammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{10.5, 13.940625219403763}, // math.lgamma(10.5), cross-checked numerically
+	}
+	for _, c := range cases {
+		if got := logGamma(c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("logGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogGammaInvalid(t *testing.T) {
+	if !math.IsNaN(logGamma(-1)) {
+		t.Error("logGamma(-1) should be NaN")
+	}
+}
+
+func TestIncompleteBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 − I_{1−x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		a, b := 2.5, 3.5
+		left := incompleteBeta(a, b, x)
+		right := 1 - incompleteBeta(b, a, 1-x)
+		if math.Abs(left-right) > 1e-12 {
+			t.Errorf("symmetry broken at x=%v: %v vs %v", x, left, right)
+		}
+	}
+}
+
+func TestIncompleteBetaUniform(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := incompleteBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Values cross-checked against scipy.stats.t.cdf.
+	cases := []struct{ t, df, want float64 }{
+		{0, 5, 0.5},
+		{1, 1, 0.75},                 // Cauchy: arctan(1)/π + 0.5
+		{2.0, 10, 0.963306},          // scipy t.cdf(2, 10)
+		{-2.0, 10, 1 - 0.963306},     // symmetry
+		{1.812461, 10, 0.95},         // t_{0.95,10} quantile
+		{12.706205, 1, 0.975},        // t_{0.975,1}
+		{1.959964, 1e6, 0.975000176}, // ~normal for huge df
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.t, c.df); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFInvalidDF(t *testing.T) {
+	if !math.IsNaN(StudentTCDF(1, 0)) {
+		t.Error("StudentTCDF with df=0 should be NaN")
+	}
+}
+
+func TestWelchTTestEqualSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res := WelchTTest(a, a)
+	if math.Abs(res.T) > 1e-12 {
+		t.Errorf("t = %v, want 0", res.T)
+	}
+	if math.Abs(res.P-1) > 1e-9 {
+		t.Errorf("p = %v, want 1", res.P)
+	}
+}
+
+func TestWelchTTestKnown(t *testing.T) {
+	// Reference values computed independently: the t statistic and
+	// Welch–Satterthwaite df from the closed-form formulas, the two-tailed
+	// p-value by high-resolution numeric integration of the t density.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.2}
+	res := WelchTTest(a, b)
+	if math.Abs(res.T-(-2.841322271378385)) > 1e-9 {
+		t.Errorf("t = %v, want ≈ -2.8413", res.T)
+	}
+	if math.Abs(res.DF-27.88250984178797) > 1e-9 {
+		t.Errorf("df = %v, want ≈ 27.8825", res.DF)
+	}
+	if math.Abs(res.P-0.0083034254) > 1e-8 {
+		t.Errorf("p = %v, want ≈ 0.0083034", res.P)
+	}
+}
+
+func TestWelchTTestTooSmall(t *testing.T) {
+	res := WelchTTest([]float64{1}, []float64{2, 3})
+	if !math.IsNaN(res.P) {
+		t.Error("expected NaN p-value for sample of size 1")
+	}
+}
+
+func TestWelchTTestZeroVariance(t *testing.T) {
+	same := WelchTTest([]float64{2, 2, 2}, []float64{2, 2})
+	if same.P != 1 {
+		t.Errorf("identical constant samples: p = %v, want 1", same.P)
+	}
+	diff := WelchTTest([]float64{2, 2, 2}, []float64{3, 3})
+	if diff.P != 0 {
+		t.Errorf("different constant samples: p = %v, want 0", diff.P)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959964, 0.975},
+		{-1.959964, 0.025},
+		{1, 0.8413447},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-8 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be ∓Inf")
+	}
+}
