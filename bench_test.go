@@ -12,15 +12,38 @@ package gef
 //
 //	go run ./cmd/experiments -exp all -scale paper
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"gef/internal/dataset"
 	"gef/internal/experiments"
 	"gef/internal/featsel"
 	"gef/internal/gbdt"
+	"gef/internal/obs"
 	"gef/internal/sampling"
 	"gef/internal/shap"
 )
+
+// TestMain adds the BENCH_obs.json hook: with BENCH_OBS_OUT=<path>, the
+// pipeline metrics accumulated over the run (GCV evaluations, P-IRLS
+// iterations, SHAP node visits, per-iteration boosting timings, ...) are
+// dumped in the repo's BENCH_*.json shape, so benchmark runs emit
+// comparable per-stage numbers:
+//
+//	BENCH_OBS_OUT=BENCH_obs.json go test -run '^$' -bench BenchmarkFullGEFPipeline -benchtime 1x .
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_OBS_OUT"); path != "" {
+		if err := obs.WriteBenchReport(path, "gef-bench"); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // benchExperiment runs one registered experiment at quick scale.
 func benchExperiment(b *testing.B, id string) {

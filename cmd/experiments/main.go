@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"gef/internal/experiments"
+	"gef/internal/obs"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 		out   = flag.String("out", "", "directory for CSV dumps (optional)")
 		list  = flag.Bool("list", false, "list available experiments and exit")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -55,6 +59,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopObs, err := ocli.Start("experiments")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
+	ctx := context.Background()
+
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := experiments.Lookup(id)
@@ -62,8 +74,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		start := time.Now()
+		// One span per experiment; the stage spans the pipeline opens
+		// while it runs land in the same trace, so the experiment table
+		// and the trace report the same costs. StartAlways keeps the
+		// wall clock live even with tracing off, for the summary line.
+		_, sp := obs.StartAlways(ctx, "experiment."+id,
+			obs.Str("scale", string(p.Scale)), obs.I64("seed", p.Seed))
 		r, err := e.Run(p)
+		elapsed := sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
 			os.Exit(1)
@@ -72,6 +90,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 	}
 }

@@ -9,9 +9,15 @@
 //	gef -forest forest.json -splines 7
 //	gef -forest forest.json -splines 5 -interactions 2 -strategy equi-size -k 4500
 //	gef -forest forest.json -explain "1.2,0.4,33,..."   # local explanation
+//
+// Observability (see internal/obs and README "Observability"):
+//
+//	gef -forest forest.json -trace - -v        # JSONL trace + human progress
+//	gef -forest forest.json -metrics-out m.json -cpuprofile cpu.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,7 @@ import (
 	"gef/internal/featsel"
 	"gef/internal/forest"
 	"gef/internal/gam"
+	"gef/internal/obs"
 	"gef/internal/plot"
 	"gef/internal/sampling"
 )
@@ -43,6 +50,8 @@ func main() {
 		doDistill    = flag.Bool("distill", false, "also distill a single-tree surrogate and print its rules")
 		saveModel    = flag.String("save-model", "", "write the fitted GAM to this JSON file")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *forestPath == "" {
@@ -50,6 +59,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopObs, err := ocli.Start("gef")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer stopObs()
+	ctx := context.Background()
 	f, err := forest.LoadFile(*forestPath)
 	if err != nil {
 		fatal("loading forest: %v", err)
@@ -68,7 +83,7 @@ func main() {
 	var e *core.Explanation
 	if *auto {
 		var trace []core.AutoStep
-		e, trace, err = core.AutoExplain(f, core.AutoConfig{Base: cfg, MaxUnivariate: *splines})
+		e, trace, err = core.AutoExplainCtx(ctx, f, core.AutoConfig{Base: cfg, MaxUnivariate: *splines})
 		if err != nil {
 			fatal("auto-explaining: %v", err)
 		}
@@ -82,7 +97,7 @@ func main() {
 				s.NumUnivariate, s.NumInteractions, s.RMSE, verdict)
 		}
 	} else {
-		e, err = core.Explain(f, cfg)
+		e, err = core.ExplainCtx(ctx, f, cfg)
 		if err != nil {
 			fatal("explaining: %v", err)
 		}

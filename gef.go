@@ -24,6 +24,9 @@
 package gef
 
 import (
+	"context"
+	"io"
+
 	"gef/internal/core"
 	"gef/internal/dataset"
 	"gef/internal/distill"
@@ -32,6 +35,7 @@ import (
 	"gef/internal/gam"
 	"gef/internal/gbdt"
 	"gef/internal/lime"
+	"gef/internal/obs"
 	"gef/internal/pdp"
 	"gef/internal/sampling"
 	"gef/internal/shap"
@@ -124,6 +128,13 @@ func Explain(f *Forest, cfg Config) (*Explanation, error) {
 	return core.Explain(f, cfg)
 }
 
+// ExplainContext is Explain with context propagation: pipeline stages
+// open observability spans (see SetTraceSink) as children of the span
+// carried by ctx.
+func ExplainContext(ctx context.Context, f *Forest, cfg Config) (*Explanation, error) {
+	return core.ExplainCtx(ctx, f, cfg)
+}
+
 // AutoConfig controls AutoExplain's component-count search.
 type AutoConfig = core.AutoConfig
 
@@ -136,6 +147,12 @@ type AutoStep = core.AutoStep
 // dataset. This automates the elbow the paper reads off its Fig. 7.
 func AutoExplain(f *Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
 	return core.AutoExplain(f, cfg)
+}
+
+// AutoExplainContext is AutoExplain with context propagation (one
+// observability span per evaluated candidate).
+func AutoExplainContext(ctx context.Context, f *Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return core.AutoExplainCtx(ctx, f, cfg)
 }
 
 // GAM surrogate model types.
@@ -288,3 +305,57 @@ type LimeExplanation = lime.Explanation
 func ExplainLIME(predict func([]float64) float64, background [][]float64, x []float64, cfg LimeConfig) (*LimeExplanation, error) {
 	return lime.Explain(predict, background, x, cfg)
 }
+
+// --- Observability (internal/obs) ----------------------------------------
+
+// TraceSink receives completed pipeline spans; see NewTextTraceSink and
+// NewJSONTraceSink for the built-in implementations.
+type TraceSink = obs.Sink
+
+// TraceSpan is the record a TraceSink receives for each pipeline span:
+// name, nesting, wall time, heap-allocation deltas and attributes.
+type TraceSpan = obs.SpanData
+
+// SpanAttr is one key/value annotation on a trace span.
+type SpanAttr = obs.Attr
+
+// SetTraceSink installs the process-wide trace sink. With a sink
+// installed, Explain/AutoExplain/TrainForest/FitGAM emit one span per
+// pipeline stage (per-λ GCV evaluations included). Pass nil to disable
+// tracing; a disabled pipeline is byte-identical in output and
+// effectively free.
+func SetTraceSink(s TraceSink) { obs.SetSink(s) }
+
+// NewTextTraceSink returns a human-readable indented span log writer
+// (the CLIs' -v progress mode).
+func NewTextTraceSink(w io.Writer) TraceSink { return obs.NewTextSink(w) }
+
+// NewJSONTraceSink returns a JSON-lines span writer for machine
+// analysis (the CLIs' -trace output).
+func NewJSONTraceSink(w io.Writer) TraceSink { return obs.NewJSONSink(w) }
+
+// CombineTraceSinks fans spans out to several sinks (nil entries are
+// dropped).
+func CombineTraceSinks(sinks ...TraceSink) TraceSink { return obs.MultiSink(sinks...) }
+
+// EnableStageProfiling toggles runtime/pprof goroutine labels per span:
+// with it on, CPU profiles attribute samples to pipeline stages
+// (`go tool pprof -tags`, label key gef_stage).
+func EnableStageProfiling(on bool) { obs.SetPprofLabels(on) }
+
+// MetricsRegistry is the process-wide metrics store (counters, gauges,
+// fixed-bucket histograms) the pipeline instruments feed: P-IRLS
+// iterations, GCV evaluations, SHAP node visits, PD forest evaluations,
+// per-iteration boosting timings, sampling volumes.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a JSON-encodable point-in-time registry copy.
+type MetricsSnapshot = obs.Snapshot
+
+// PipelineMetrics returns the default registry all instrumentation
+// writes to. Use Snapshot or WriteJSON for an expvar-style export.
+func PipelineMetrics() *MetricsRegistry { return obs.Metrics() }
+
+// WriteBenchReport writes the current metrics as a BENCH_*.json-shaped
+// report (see BENCH_obs.json at the repo root for the convention).
+func WriteBenchReport(path, name string) error { return obs.WriteBenchReport(path, name) }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gef/internal/featsel"
 	"gef/internal/forest"
 	"gef/internal/gam"
+	"gef/internal/obs"
 	"gef/internal/sampling"
 	"gef/internal/stats"
 )
@@ -64,8 +66,20 @@ type AutoStep struct {
 // held-out RMSE by at least Tolerance relatively, then interaction terms
 // the same way, and returns the chosen explanation plus the full trace.
 func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return AutoExplainCtx(context.Background(), f, cfg)
+}
+
+// AutoExplainCtx is AutoExplain with context propagation: the search
+// opens one obs span per evaluated candidate, so traces show where the
+// component search spends its time.
+func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
 	cfg = cfg.withDefaults(f)
 	base := cfg.Base.withDefaults()
+	ctx, root := obs.Start(ctx, "gef.auto_explain",
+		obs.Int("max_univariate", cfg.MaxUnivariate),
+		obs.Int("max_interactions", cfg.MaxInteractions),
+		obs.F64("tolerance", cfg.Tolerance))
+	defer root.End()
 	if err := f.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("gef: invalid forest: %w", err)
 	}
@@ -81,11 +95,11 @@ func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, er
 	if smp.CategoricalThreshold == 0 {
 		smp.CategoricalThreshold = base.CategoricalThreshold
 	}
-	domains, err := sampling.BuildDomains(f, features, smp)
+	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
 	if err != nil {
 		return nil, nil, err
 	}
-	dstar := sampling.Generate(f, domains, base.NumSamples, base.Seed+2)
+	dstar := sampling.GenerateCtx(ctx, f, domains, base.NumSamples, base.Seed+2)
 	train, test := dstar.Split(base.TestFraction, base.Seed+3)
 
 	var pairs []featsel.Pair
@@ -98,7 +112,7 @@ func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, er
 			}
 			sample = train.X[:n]
 		}
-		pairs, err = featsel.RankInteractions(f, features, base.InteractionStrategy, sample)
+		pairs, err = featsel.RankInteractionsCtx(ctx, f, features, base.InteractionStrategy, sample)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -107,6 +121,9 @@ func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, er
 	// fit builds and fits the candidate with ns splines and ni tensor
 	// terms (heredity: pairs restricted to the first ns features).
 	fit := func(ns, ni int) (*gam.Model, []featsel.Pair, float64, error) {
+		cctx, csp := obs.Start(ctx, "auto.candidate",
+			obs.Int("splines", ns), obs.Int("interactions", ni))
+		defer csp.End()
 		sel := features[:ns]
 		var selPairs []featsel.Pair
 		inSel := make(map[int]bool, ns)
@@ -125,11 +142,13 @@ func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, er
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		m, err := gam.Fit(spec, train.X, train.Y, base.GAM)
+		m, err := gam.FitCtx(cctx, spec, train.X, train.Y, base.GAM)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		return m, selPairs, stats.RMSE(m.PredictBatch(test.X), test.Y), nil
+		rmse := stats.RMSE(m.PredictBatch(test.X), test.Y)
+		csp.Set(obs.F64("rmse", rmse))
+		return m, selPairs, rmse, nil
 	}
 
 	var trace []AutoStep

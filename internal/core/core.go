@@ -7,12 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gef/internal/dataset"
 	"gef/internal/featsel"
 	"gef/internal/forest"
 	"gef/internal/gam"
+	"gef/internal/obs"
 	"gef/internal/sampling"
 	"gef/internal/stats"
 )
@@ -122,13 +124,30 @@ type Explanation struct {
 
 // Explain runs the full GEF pipeline on the forest.
 func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
+	return ExplainCtx(context.Background(), f, cfg)
+}
+
+// ExplainCtx is Explain with context propagation: each pipeline stage
+// opens an obs span under the caller's span, so traces show feature
+// selection, domain construction, D* sampling/labelling, interaction
+// ranking and the GAM fit (with per-λ children) individually.
+func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
 	cfg = cfg.withDefaults()
+	ctx, root := obs.Start(ctx, "gef.explain",
+		obs.Int("num_univariate", cfg.NumUnivariate),
+		obs.Int("num_interactions", cfg.NumInteractions),
+		obs.Int("num_samples", cfg.NumSamples),
+		obs.Str("sampling", string(cfg.Sampling.Strategy)))
+	defer root.End()
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gef: invalid forest: %w", err)
 	}
 
 	// §3.2 — univariate selection F′ by accumulated gain.
+	_, sel := obs.Start(ctx, "featsel.top_features")
 	features := featsel.TopFeatures(f, cfg.NumUnivariate)
+	sel.Set(obs.Int("selected", len(features)))
+	sel.End()
 	if len(features) == 0 {
 		return nil, fmt.Errorf("gef: forest has no split nodes to explain")
 	}
@@ -144,11 +163,11 @@ func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
 	if smp.CategoricalThreshold == 0 {
 		smp.CategoricalThreshold = cfg.CategoricalThreshold
 	}
-	domains, err := sampling.BuildDomains(f, features, smp)
+	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
 	if err != nil {
 		return nil, err
 	}
-	dstar := sampling.Generate(f, domains, cfg.NumSamples, cfg.Seed+2)
+	dstar := sampling.GenerateCtx(ctx, f, domains, cfg.NumSamples, cfg.Seed+2)
 	train, test := dstar.Split(cfg.TestFraction, cfg.Seed+3)
 
 	// §3.4 — interaction selection F″ (independent of D*, except H-Stat
@@ -174,7 +193,7 @@ func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
 			}
 			sample = train.X[:n]
 		}
-		pairs, err = featsel.TopPairs(f, features, cfg.InteractionStrategy, sample, cfg.NumInteractions)
+		pairs, err = featsel.TopPairsCtx(ctx, f, features, cfg.InteractionStrategy, sample, cfg.NumInteractions)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +204,7 @@ func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	model, err := gam.Fit(spec, train.X, train.Y, cfg.GAM)
+	model, err := gam.FitCtx(ctx, spec, train.X, train.Y, cfg.GAM)
 	if err != nil {
 		return nil, fmt.Errorf("gef: fitting the explanation GAM: %w", err)
 	}
@@ -200,11 +219,15 @@ func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
 		Forest:   f,
 		Config:   cfg,
 	}
+	_, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(test.X)))
 	pred := model.PredictBatch(test.X)
 	e.Fidelity = Fidelity{
 		RMSE: stats.RMSE(pred, test.Y),
 		R2:   stats.R2(pred, test.Y),
 	}
+	fsp.Set(obs.F64("rmse", e.Fidelity.RMSE), obs.F64("r2", e.Fidelity.R2))
+	fsp.End()
+	root.Set(obs.F64("rmse", e.Fidelity.RMSE), obs.F64("r2", e.Fidelity.R2))
 	return e, nil
 }
 

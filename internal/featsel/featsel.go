@@ -5,10 +5,12 @@
 package featsel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/pdp"
 )
 
@@ -73,6 +75,29 @@ func key(a, b int) [2]int {
 // The sample argument is required only by HStat, which evaluates partial
 // dependence over it; other strategies ignore it.
 func RankInteractions(f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64) ([]Pair, error) {
+	return RankInteractionsCtx(context.Background(), f, selected, strategy, sample)
+}
+
+// RankInteractionsCtx is RankInteractions under an obs span; the number
+// of scored pairs is counted per strategy in
+// featsel.pairs_scored.<strategy> (H-Stat's forest evaluations are
+// counted separately by internal/pdp).
+func RankInteractionsCtx(ctx context.Context, f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64) ([]Pair, error) {
+	_, sp := obs.Start(ctx, "featsel.rank_interactions",
+		obs.Str("strategy", string(strategy)),
+		obs.Int("selected", len(selected)),
+		obs.Int("sample", len(sample)))
+	defer sp.End()
+	pairs, err := rankInteractions(f, selected, strategy, sample)
+	if err != nil {
+		return nil, err
+	}
+	obs.Count("featsel.pairs_scored."+string(strategy), int64(len(pairs)))
+	sp.Set(obs.Int("pairs", len(pairs)))
+	return pairs, nil
+}
+
+func rankInteractions(f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64) ([]Pair, error) {
 	if len(selected) < 2 {
 		return nil, fmt.Errorf("featsel: need ≥ 2 selected features, got %d", len(selected))
 	}
@@ -126,7 +151,12 @@ func RankInteractions(f *forest.Forest, selected []int, strategy InteractionStra
 
 // TopPairs returns the k highest-ranked interactions.
 func TopPairs(f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64, k int) ([]Pair, error) {
-	pairs, err := RankInteractions(f, selected, strategy, sample)
+	return TopPairsCtx(context.Background(), f, selected, strategy, sample, k)
+}
+
+// TopPairsCtx is TopPairs with context propagation.
+func TopPairsCtx(ctx context.Context, f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64, k int) ([]Pair, error) {
+	pairs, err := RankInteractionsCtx(ctx, f, selected, strategy, sample)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,20 @@
 package gam
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"gef/internal/linalg"
+	"gef/internal/obs"
+)
+
+// Metrics instruments (hoisted; see internal/obs).
+var (
+	mGCVEvals  = obs.Metrics().Counter("gam.gcv_evals")
+	mIRLSIters = obs.Metrics().Histogram("gam.pirls_iters")
+	mIRLSDelta = obs.Metrics().Histogram("gam.pirls_delta")
+	mFits      = obs.Metrics().Counter("gam.fits")
 )
 
 // ridgeScale is the small unconditional ridge added to every penalized
@@ -48,10 +58,25 @@ type Model struct {
 // squares on sufficient statistics. Logit link: penalized IRLS per λ with
 // GCV on the converged working model.
 func Fit(spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
+	return FitCtx(context.Background(), spec, xs, y, opt)
+}
+
+// FitCtx is Fit with context propagation: the fit runs under a gam.fit
+// span carrying the design-matrix dimensions, with one gam.gcv child
+// span per λ-grid evaluation (λ, GCV, EDF, and P-IRLS iterations for the
+// logit link).
+func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
 	if spec.Link == "" {
 		spec.Link = Identity
 	}
 	opt = opt.withDefaults()
+	ctx, sp := obs.Start(ctx, "gam.fit",
+		obs.Str("link", string(spec.Link)),
+		obs.Int("terms", len(spec.Terms)),
+		obs.Int("rows", len(xs)),
+		obs.Int("lambda_grid", len(opt.Lambdas)))
+	defer sp.End()
+	mFits.Inc()
 	if len(xs) != len(y) {
 		return nil, fmt.Errorf("gam: %d rows but %d targets", len(xs), len(y))
 	}
@@ -59,6 +84,7 @@ func Fit(spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.Set(obs.Int("cols", d.p))
 	if d.n <= d.p {
 		return nil, fmt.Errorf("gam: %d rows for %d coefficients; need more data", d.n, d.p)
 	}
@@ -73,13 +99,15 @@ func Fit(spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
 	s := d.penaltyMatrix()
 	var m *Model
 	if spec.Link == Identity {
-		m, err = fitGaussian(spec, d, s, y, opt)
+		m, err = fitGaussian(ctx, spec, d, s, y, opt)
 	} else {
-		m, err = fitLogit(spec, d, s, y, opt)
+		m, err = fitLogit(ctx, spec, d, s, y, opt)
 	}
 	if err != nil {
 		return nil, err
 	}
+	sp.Set(obs.F64("lambda", m.report.Lambda), obs.F64("gcv", m.report.GCV),
+		obs.F64("edf", m.report.EDF))
 	m.center(d)
 	// Release the cached rows; term metadata stays for prediction.
 	d.rowPtr, d.idx, d.val = nil, nil, nil
@@ -142,17 +170,23 @@ func penalizedSystem(xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
 	return a
 }
 
-func fitGaussian(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+	_, asp := obs.Start(ctx, "gam.normal_equations", obs.Int("rows", d.n), obs.Int("cols", d.p))
 	xtx, xty, yty := accumulateNormal(d, nil, y)
+	asp.End()
 	n := float64(d.n)
 
 	best := FitReport{GCV: math.Inf(1)}
 	var bestBeta []float64
 	var bestChol *linalg.Cholesky
 	for _, lambda := range opt.Lambdas {
+		_, lsp := obs.Start(ctx, "gam.gcv", obs.F64("lambda", lambda))
+		mGCVEvals.Inc()
 		a := penalizedSystem(xtx, s, lambda)
 		ch, err := linalg.FactorizeSPD(a)
 		if err != nil {
+			lsp.Set(obs.Str("skip", "factorization failed"))
+			lsp.End()
 			continue // skip numerically hopeless λ
 		}
 		beta := ch.Solve(xty)
@@ -163,9 +197,13 @@ func fitGaussian(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Option
 		}
 		denom := n - edf
 		if denom <= 0 {
+			lsp.Set(obs.Str("skip", "edf exceeds n"))
+			lsp.End()
 			continue
 		}
 		gcv := n * rss / (denom * denom)
+		lsp.Set(obs.F64("gcv", gcv), obs.F64("edf", edf))
+		lsp.End()
 		best.Lambdas = append(best.Lambdas, lambda)
 		best.GCVs = append(best.GCVs, gcv)
 		if gcv < best.GCV {
@@ -197,7 +235,7 @@ func fitGaussian(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Option
 	return &Model{spec: spec, design: d, beta: bestBeta, chol: bestChol, report: best}, nil
 }
 
-func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
 	n := float64(d.n)
 	best := FitReport{GCV: math.Inf(1)}
 	var bestBeta []float64
@@ -207,6 +245,8 @@ func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) 
 	w := make([]float64, d.n)
 	z := make([]float64, d.n)
 	for _, lambda := range opt.Lambdas {
+		_, lsp := obs.Start(ctx, "gam.gcv", obs.F64("lambda", lambda))
+		mGCVEvals.Inc()
 		// Warm-startable P-IRLS; initialize from the data each time for
 		// reproducibility across grids.
 		for i, yi := range y {
@@ -215,7 +255,7 @@ func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) 
 		}
 		var beta []float64
 		var ch *linalg.Cholesky
-		var edf, wrss float64
+		var edf, wrss, lastDelta float64
 		prevDev := math.Inf(1)
 		iters := 0
 		for it := 0; it < opt.MaxIRLS; it++ {
@@ -248,7 +288,8 @@ func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) 
 				eta[i] = d.rowDot(i, beta)
 				dev += binomialDeviance(y[i], sigmoid(eta[i]))
 			}
-			if math.Abs(prevDev-dev) < opt.Tol*(math.Abs(dev)+1) {
+			lastDelta = math.Abs(prevDev - dev)
+			if lastDelta < opt.Tol*(math.Abs(dev)+1) {
 				edf = ch.TraceSolve(xtwx)
 				wrss = weightedRSS(d, w, z, beta)
 				break
@@ -259,14 +300,25 @@ func fitLogit(spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) 
 				wrss = weightedRSS(d, w, z, beta)
 			}
 		}
+		mIRLSIters.Observe(float64(iters))
+		if !math.IsInf(lastDelta, 0) {
+			mIRLSDelta.Observe(lastDelta)
+		}
 		if ch == nil || beta == nil {
+			lsp.Set(obs.Str("skip", "factorization failed"))
+			lsp.End()
 			continue
 		}
 		denom := n - edf
 		if denom <= 0 {
+			lsp.Set(obs.Str("skip", "edf exceeds n"))
+			lsp.End()
 			continue
 		}
 		gcv := n * wrss / (denom * denom)
+		lsp.Set(obs.F64("gcv", gcv), obs.F64("edf", edf),
+			obs.Int("irls_iters", iters), obs.F64("dev_delta", lastDelta))
+		lsp.End()
 		best.Lambdas = append(best.Lambdas, lambda)
 		best.GCVs = append(best.GCVs, gcv)
 		if gcv < best.GCV {

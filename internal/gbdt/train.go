@@ -1,13 +1,27 @@
 package gbdt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"gef/internal/dataset"
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/stats"
+)
+
+// Metrics instruments (hoisted; see internal/obs). Per-iteration wall
+// times are split into tree growth (histogram build + split search) and
+// the whole iteration (gradients + growth + score update + loss).
+var (
+	mTreesGrown = obs.Metrics().Counter("gbdt.trees_grown")
+	mIterMs     = obs.Metrics().Histogram("gbdt.iteration_ms")
+	mGrowMs     = obs.Metrics().Histogram("gbdt.grow_tree_ms")
+	mTrainLoss  = obs.Metrics().Gauge("gbdt.final_train_loss")
+	mEarlyStops = obs.Metrics().Counter("gbdt.early_stops")
 )
 
 // Params configures GBDT training. Zero values are replaced by defaults
@@ -98,6 +112,13 @@ func Train(ds *dataset.Dataset, p Params) (*forest.Forest, error) {
 // training stops after that many rounds without improvement and the forest
 // is truncated to its best iteration.
 func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Report, error) {
+	return TrainValidCtx(context.Background(), train, valid, p)
+}
+
+// TrainValidCtx is TrainValid under an obs span recording the training
+// shape; per-iteration timings land in the gbdt.* histograms and an
+// early-stop decision is emitted as a span event.
+func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params) (*forest.Forest, *Report, error) {
 	p = p.withDefaults()
 	if err := p.validate(); err != nil {
 		return nil, nil, err
@@ -118,6 +139,13 @@ func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Repor
 
 	n := train.NumRows()
 	numFeat := train.NumFeatures()
+	_, sp := obs.Start(ctx, "gbdt.train",
+		obs.Int("rows", n),
+		obs.Int("features", numFeat),
+		obs.Int("num_trees", p.NumTrees),
+		obs.Int("num_leaves", p.NumLeaves),
+		obs.Str("objective", string(p.Objective)))
+	defer sp.End()
 	bd := binDataset(train.X, numFeat, p.MaxBins)
 	rng := rand.New(rand.NewSource(p.Seed))
 
@@ -163,6 +191,7 @@ func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Repor
 	rep := &Report{BestIteration: -1}
 	bestValid := math.Inf(1)
 	for iter := 0; iter < p.NumTrees; iter++ {
+		iterStart := time.Now()
 		computeGradients(p.Objective, raw, train.Y, grad, hess)
 
 		rows := allRows
@@ -174,7 +203,10 @@ func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Repor
 			feats = sampleFeatures(rng, numFeat, p.FeatureFraction)
 		}
 
+		growStart := time.Now()
 		tree := growTree(bd, grad, hess, rows, feats, gp)
+		mGrowMs.Observe(float64(time.Since(growStart)) / float64(time.Millisecond))
+		mTreesGrown.Inc()
 		f.Trees = append(f.Trees, tree)
 
 		// Incremental raw-score update on train and valid.
@@ -194,9 +226,16 @@ func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Repor
 			}
 			if p.EarlyStoppingRounds > 0 && iter-rep.BestIteration >= p.EarlyStoppingRounds {
 				rep.Stopped = true
+				mEarlyStops.Inc()
+				sp.Event("gbdt.early_stop",
+					obs.Int("iteration", iter),
+					obs.Int("best_iteration", rep.BestIteration),
+					obs.F64("best_valid_loss", bestValid))
+				mIterMs.Observe(float64(time.Since(iterStart)) / float64(time.Millisecond))
 				break
 			}
 		}
+		mIterMs.Observe(float64(time.Since(iterStart)) / float64(time.Millisecond))
 	}
 	if valid == nil {
 		rep.BestIteration = len(f.Trees) - 1
@@ -206,6 +245,10 @@ func TrainValid(train, valid *dataset.Dataset, p Params) (*forest.Forest, *Repor
 	if err := f.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("gbdt: produced invalid forest: %w", err)
 	}
+	if len(rep.TrainLoss) > 0 {
+		mTrainLoss.Set(rep.TrainLoss[len(rep.TrainLoss)-1])
+	}
+	sp.Set(obs.Int("trees", len(f.Trees)), obs.Bool("stopped_early", rep.Stopped))
 	return f, rep, nil
 }
 

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by the gef and experiments
+// commands:
+//
+//	-trace <file|->   JSON-lines span trace (stdout with "-")
+//	-v                human-readable span progress on stderr
+//	-metrics-out <f>  BENCH-shaped metrics snapshot written on exit
+//	-cpuprofile <f>   CPU profile with per-stage pprof labels
+//	-memprofile <f>   heap profile written on exit
+//
+// Typical use:
+//
+//	var ocli obs.CLI
+//	ocli.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := ocli.Start("gef")
+//	if err != nil { ... }
+//	defer stop()
+type CLI struct {
+	Trace      string
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	Verbose    bool
+}
+
+// RegisterFlags declares the shared observability flags on fs.
+func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Trace, "trace", "", "write a JSON-lines span trace to this file ('-' for stdout)")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (BENCH shape) to this file on exit")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile (stages labelled "+pprofLabelKey+") to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.BoolVar(&c.Verbose, "v", false, "print human-readable span progress to stderr")
+}
+
+// Start activates everything the parsed flags request and returns the
+// cleanup function, which flushes sinks, stops profiles and writes the
+// metrics snapshot. name labels the metrics report.
+func (c *CLI) Start(name string) (stop func(), err error) {
+	var sinks []Sink
+	var closers []io.Closer
+
+	cleanupOnErr := func() {
+		for _, cl := range closers {
+			cl.Close()
+		}
+	}
+
+	if c.Trace != "" {
+		w := io.Writer(os.Stdout)
+		if c.Trace != "-" {
+			f, err := os.Create(c.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("obs: creating trace file: %w", err)
+			}
+			closers = append(closers, f)
+			w = f
+		}
+		sinks = append(sinks, NewJSONSink(w))
+	}
+	if c.Verbose {
+		sinks = append(sinks, NewTextSink(os.Stderr))
+	}
+	SetSink(MultiSink(sinks...))
+
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			cleanupOnErr()
+			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
+		}
+		closers = append(closers, cpuFile)
+		SetPprofLabels(true)
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cleanupOnErr()
+			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
+		}
+	} else {
+		SetPprofLabels(false)
+	}
+
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+		}
+		if s := CurrentSink(); s != nil {
+			s.Flush()
+		}
+		SetSink(nil)
+		if c.MetricsOut != "" {
+			if err := WriteBenchReport(c.MetricsOut, name); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: writing metrics: %v\n", err)
+			}
+		}
+		if c.MemProfile != "" {
+			if f, err := os.Create(c.MemProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: creating mem profile: %v\n", err)
+			} else {
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "obs: writing mem profile: %v\n", err)
+				}
+				f.Close()
+			}
+		}
+		for _, cl := range closers {
+			cl.Close()
+		}
+	}, nil
+}

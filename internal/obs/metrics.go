@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-wide metrics store: named counters, gauges and
+// fixed-bucket histograms. Instrument creation takes a short lock on the
+// name map; the instruments themselves are lock-free atomics, so hot
+// paths should hoist them into package variables:
+//
+//	var nodeVisits = obs.Metrics().Counter("shap.node_visits")
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Metrics returns the process-wide default registry, which all pipeline
+// instrumentation uses.
+func Metrics() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the named monotonic counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named last-value gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// default log-spaced buckets.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, nil)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the
+// given ascending upper bounds (nil for the defaults). Bounds are fixed
+// at creation; later calls ignore the argument.
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset discards every instrument — for tests and for isolating
+// per-run snapshots.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.hists = make(map[string]*Histogram)
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// defaultBuckets covers twelve decades in a 1–2–5 sequence, wide enough
+// for millisecond timings, iteration counts and byte sizes alike.
+func defaultBuckets() []float64 {
+	var b []float64
+	for exp := -6; exp <= 6; exp++ {
+		p := math.Pow(10, float64(exp))
+		b = append(b, p, 2*p, 5*p)
+	}
+	return b
+}
+
+// Histogram is a fixed-bucket distribution with lock-free observation.
+// Percentiles are estimated by linear interpolation within the bucket
+// containing the requested rank.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = defaultBuckets()
+	} else {
+		bounds = append([]float64(nil), bounds...)
+		sort.Float64s(bounds)
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
+// linear interpolation inside the hosting bucket, clamped to the observed
+// min/max. Returns NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	mn := math.Float64frombits(h.min.Load())
+	mx := math.Float64frombits(h.max.Load())
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := mn
+			if i > 0 {
+				lo = math.Max(mn, h.bounds[i-1])
+			}
+			hi := mx
+			if i < len(h.bounds) {
+				hi = math.Min(mx, h.bounds[i])
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return mx
+}
+
+// --- snapshot ------------------------------------------------------------
+
+// HistogramSnapshot is the summary form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-encodable (the
+// expvar-style export surface).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		n := h.Count()
+		hs := HistogramSnapshot{Count: n, Sum: h.Sum()}
+		if n > 0 {
+			hs.Mean = hs.Sum / float64(n)
+			hs.Min = math.Float64frombits(h.min.Load())
+			hs.Max = math.Float64frombits(h.max.Load())
+			hs.P50 = h.Quantile(0.50)
+			hs.P90 = h.Quantile(0.90)
+			hs.P99 = h.Quantile(0.99)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (map keys are
+// emitted sorted by encoding/json, so output is deterministic for a
+// given state).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Package-level conveniences on the default registry.
+
+// Count adds n to the named default-registry counter.
+func Count(name string, n int64) { defaultRegistry.Counter(name).Add(n) }
+
+// SetGauge stores v in the named default-registry gauge.
+func SetGauge(name string, v float64) { defaultRegistry.Gauge(name).Set(v) }
+
+// Observe records v in the named default-registry histogram.
+func Observe(name string, v float64) { defaultRegistry.Histogram(name).Observe(v) }

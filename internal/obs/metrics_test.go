@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("hits") != c {
+		t.Error("Counter(name) did not return the existing instrument")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("loss")
+	if g.Value() != 0 {
+		t.Errorf("initial gauge = %v", g.Value())
+	}
+	g.Set(0.125)
+	if g.Value() != 0.125 {
+		t.Errorf("gauge = %v, want 0.125", g.Value())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 1..100 uniformly: with linear interpolation inside log buckets the
+	// uniform ranks land exactly on the uniform values at the checked
+	// quantiles.
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5050) > 1e-9 {
+		t.Errorf("sum = %v, want 5050", got)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.90, 90}, {1.0, 100},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-6 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Quantiles never escape the observed range.
+	if got := h.Quantile(0.0001); got < 1 {
+		t.Errorf("Quantile(0.0001) = %v, below observed min", got)
+	}
+}
+
+func TestHistogramCustomBucketsAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("iters", []float64{1, 2, 5, 10, 25})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	for _, v := range []float64{3, 3, 3, 3} {
+		h.Observe(v)
+	}
+	// All mass in one bucket: every quantile collapses to [min,max]=[3,3].
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v, want 3", got)
+	}
+	if got := h.Quantile(0.99); got != 3 {
+		t.Errorf("Quantile(0.99) = %v, want 3", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("par")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := int64(workers * per)
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	want := float64(n) * float64(n+1) / 2
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gam.gcv_evals").Add(12)
+	r.Gauge("gbdt.final_train_loss").Set(0.25)
+	h := r.Histogram("gam.pirls_iters")
+	h.Observe(4)
+	h.Observe(6)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["gam.gcv_evals"] != 12 {
+		t.Errorf("counter = %d", snap.Counters["gam.gcv_evals"])
+	}
+	if snap.Gauges["gbdt.final_train_loss"] != 0.25 {
+		t.Errorf("gauge = %v", snap.Gauges["gbdt.final_train_loss"])
+	}
+	hs := snap.Histograms["gam.pirls_iters"]
+	if hs.Count != 2 || hs.Sum != 10 || hs.Mean != 5 || hs.Min != 4 || hs.Max != 6 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Reset()
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("after Reset counter = %d", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 1 { // recreated by the read above
+		t.Errorf("counters after reset = %v", s.Counters)
+	}
+}
+
+func TestBenchReportShape(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_test.json"
+	Count("bench.test_counter", 3)
+	if err := WriteBenchReport(path, "unit"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "unit" || rep.Go == "" || rep.OS == "" || rep.Arch == "" {
+		t.Errorf("report header = %+v", rep)
+	}
+	if rep.Metrics.Counters["bench.test_counter"] < 3 {
+		t.Errorf("metrics not embedded: %v", rep.Metrics.Counters)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Sink receives span records. Begin fires when a span opens (Wall and
+// alloc deltas still zero) so interactive sinks can show progress; End
+// fires with the completed record. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Begin(sp *SpanData)
+	End(sp *SpanData)
+	Flush() error
+}
+
+// --- human-readable text sink -------------------------------------------
+
+// TextSink writes an indented, human-readable span log — the `-v`
+// progress mode of the CLIs:
+//
+//	-> gef.explain
+//	   -> sampling.build_domains
+//	   <- sampling.build_domains 1.8ms +312KB (features=5 points=320)
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a text sink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+func (t *TextSink) Begin(sp *SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "%s-> %s\n", strings.Repeat("   ", sp.Depth), sp.Name)
+}
+
+func (t *TextSink) End(sp *SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	indent := strings.Repeat("   ", sp.Depth)
+	fmt.Fprintf(t.w, "%s<- %s %v +%s", indent, sp.Name, sp.Wall, byteSize(sp.AllocBytes))
+	if len(sp.Attrs) > 0 {
+		fmt.Fprint(t.w, " (")
+		for i, a := range sp.Attrs {
+			if i > 0 {
+				fmt.Fprint(t.w, " ")
+			}
+			fmt.Fprintf(t.w, "%s=%v", a.Key, a.Value)
+		}
+		fmt.Fprint(t.w, ")")
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *TextSink) Flush() error { return nil }
+
+// byteSize renders a byte count compactly (B / KB / MB / GB).
+func byteSize(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// --- JSON-lines sink -----------------------------------------------------
+
+// JSONSink writes one JSON object per *completed* span (Begin is a no-op),
+// in end order — children before parents, reconstructable into a tree via
+// the id/parent fields. The format is the machine-analysis counterpart of
+// TextSink.
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// NewJSONSink returns a JSON-lines sink writing to w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w), w: w}
+}
+
+func (j *JSONSink) Begin(sp *SpanData) {}
+
+func (j *JSONSink) End(sp *SpanData) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(sp)
+}
+
+func (j *JSONSink) Flush() error {
+	if f, ok := j.w.(interface{ Sync() error }); ok {
+		return f.Sync()
+	}
+	return nil
+}
+
+// --- fan-out -------------------------------------------------------------
+
+// multiSink fans every record out to several sinks.
+type multiSink []Sink
+
+// MultiSink combines sinks; nil entries are dropped. With zero or one
+// live sink it returns nil or that sink directly.
+func MultiSink(sinks ...Sink) Sink {
+	var live multiSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multiSink) Begin(sp *SpanData) {
+	for _, s := range m {
+		s.Begin(sp)
+	}
+}
+
+func (m multiSink) End(sp *SpanData) {
+	for _, s := range m {
+		s.End(sp)
+	}
+}
+
+func (m multiSink) Flush() error {
+	var first error
+	for _, s := range m {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- in-memory sink (tests, BenchReport) ---------------------------------
+
+// MemorySink records completed spans in memory, in end order.
+type MemorySink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+func (m *MemorySink) Begin(sp *SpanData) {}
+
+func (m *MemorySink) End(sp *SpanData) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.spans = append(m.spans, *sp)
+}
+
+func (m *MemorySink) Flush() error { return nil }
+
+// Spans returns a copy of the recorded spans in end order.
+func (m *MemorySink) Spans() []SpanData {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SpanData(nil), m.spans...)
+}

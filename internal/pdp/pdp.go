@@ -8,7 +8,16 @@ import (
 	"fmt"
 
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/stats"
+)
+
+// Metrics instruments (hoisted; see internal/obs): every PD-grid point
+// costs |background| forest evaluations, and H-Stat is quadratic in the
+// sample — pdp.forest_evals is the number future sharding PRs must cut.
+var (
+	mForestEvals = obs.Metrics().Counter("pdp.forest_evals")
+	mHStatCalls  = obs.Metrics().Counter("pdp.hstat_calls")
 )
 
 // OneDimAt evaluates the one-dimensional partial-dependence function of
@@ -22,6 +31,7 @@ func OneDimAt(f *forest.Forest, background [][]float64, j int, values []float64)
 	if len(background) == 0 {
 		panic("pdp: empty background sample")
 	}
+	mForestEvals.Add(int64(len(values)) * int64(len(background)))
 	out := make([]float64, len(values))
 	row := make([]float64, len(background[0]))
 	for vi, v := range values {
@@ -47,6 +57,7 @@ func TwoDimAt(f *forest.Forest, background [][]float64, i, j int, vi, vj []float
 	if len(background) == 0 {
 		panic("pdp: empty background sample")
 	}
+	mForestEvals.Add(int64(len(vi)) * int64(len(background)))
 	out := make([]float64, len(vi))
 	row := make([]float64, len(background[0]))
 	for k := range vi {
@@ -69,6 +80,7 @@ func Grid1D(f *forest.Forest, background [][]float64, j int, grid []float64) []f
 	if len(background) == 0 {
 		panic("pdp: empty background sample")
 	}
+	mForestEvals.Add(int64(len(grid)) * int64(len(background)))
 	out := make([]float64, len(grid))
 	row := make([]float64, len(background[0]))
 	for gi, v := range grid {
@@ -93,6 +105,7 @@ func ICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]fl
 	if len(background) == 0 {
 		panic("pdp: empty background sample")
 	}
+	mForestEvals.Add(int64(len(grid)) * int64(len(background)))
 	out := make([][]float64, len(background))
 	row := make([]float64, len(background[0]))
 	for bi, b := range background {
@@ -132,6 +145,7 @@ func HStatistic(f *forest.Forest, sample [][]float64, i, j int) float64 {
 	if n == 0 {
 		panic("pdp: empty sample")
 	}
+	mHStatCalls.Inc()
 	vi := make([]float64, n)
 	vj := make([]float64, n)
 	for k, x := range sample {

@@ -10,6 +10,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,7 +18,16 @@ import (
 
 	"gef/internal/dataset"
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/stats"
+)
+
+// Metrics instruments, hoisted so hot paths skip the registry lookup.
+var (
+	mDomainPoints = obs.Metrics().Counter("sampling.domain_points")
+	mDomainSize   = obs.Metrics().Histogram("sampling.domain_size")
+	mRows         = obs.Metrics().Counter("sampling.rows_generated")
+	mForestEvals  = obs.Metrics().Counter("sampling.forest_evals")
 )
 
 // Strategy selects how a feature's sampling domain is derived from its
@@ -87,6 +97,33 @@ type Domains struct {
 // forest's split thresholds using the configured strategy. Every selected
 // feature must occur in at least one split predicate.
 func BuildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
+	return BuildDomainsCtx(context.Background(), f, selected, cfg)
+}
+
+// BuildDomainsCtx is BuildDomains under an obs span recording the
+// strategy, feature count and resulting domain sizes.
+func BuildDomainsCtx(ctx context.Context, f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
+	_, sp := obs.Start(ctx, "sampling.build_domains",
+		obs.Str("strategy", string(cfg.Strategy)),
+		obs.Int("features", len(selected)),
+		obs.Int("k", cfg.K))
+	defer sp.End()
+	d, err := buildDomains(f, selected, cfg)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, j := range d.Features {
+		n := len(d.Points[j])
+		total += n
+		mDomainSize.Observe(float64(n))
+	}
+	mDomainPoints.Add(int64(total))
+	sp.Set(obs.Int("total_points", total))
+	return d, nil
+}
+
+func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Strategy != AllThresholds && cfg.Strategy != Random && cfg.K < 1 {
 		return nil, fmt.Errorf("sampling: strategy %q requires K ≥ 1, got %d", cfg.Strategy, cfg.K)
@@ -271,6 +308,17 @@ func (d *Domains) SampleRow(rng *rand.Rand) []float64 {
 // binary-logistic forests, raw scores otherwise). This is the complete
 // step (i) of the GEF framework.
 func Generate(f *forest.Forest, d *Domains, n int, seed int64) *dataset.Dataset {
+	return GenerateCtx(context.Background(), f, d, n, seed)
+}
+
+// GenerateCtx is Generate under an obs span; every generated row costs
+// one forest evaluation, counted in sampling.forest_evals.
+func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed int64) *dataset.Dataset {
+	_, sp := obs.Start(ctx, "sampling.generate",
+		obs.Int("rows", n), obs.Str("strategy", string(d.Strategy)))
+	defer sp.End()
+	mRows.Add(int64(n))
+	mForestEvals.Add(int64(n))
 	rng := rand.New(rand.NewSource(seed))
 	task := dataset.Regression
 	if f.Objective == forest.BinaryLogistic {

@@ -1,6 +1,16 @@
 package shap
 
-import "gef/internal/forest"
+import (
+	"gef/internal/forest"
+	"gef/internal/obs"
+)
+
+// Metrics instruments for the interventional variant, whose cost is
+// O(|background| · nodes) per instance.
+var (
+	mIntInstances  = obs.Metrics().Counter("shap.interventional_instances")
+	mIntNodeVisits = obs.Metrics().Counter("shap.interventional_node_visits")
+)
 
 // InterventionalValues computes SHAP values under the interventional
 // (marginal) value function v(S) = E_b[f(x_S, b_{S̄})] over an explicit
@@ -26,11 +36,14 @@ func InterventionalValues(f *forest.Forest, x []float64, background [][]float64)
 	phi = make([]float64, f.NumFeatures)
 	base = f.BaseScore
 	inv := 1 / float64(len(background))
+	visits := 0
 	for _, b := range background {
 		for ti := range f.Trees {
-			base += interventionalTree(&f.Trees[ti], x, b, phi, inv) * inv
+			base += interventionalTree(&f.Trees[ti], x, b, phi, inv, &visits) * inv
 		}
 	}
+	mIntInstances.Inc()
+	mIntNodeVisits.Add(int64(visits))
 	return phi, base
 }
 
@@ -43,13 +56,14 @@ type featState struct {
 // interventionalTree accumulates weighted φ contributions for one
 // (tree, background row) pair and returns v(∅) for that pair — the value
 // the tree takes when every feature comes from b.
-func interventionalTree(t *forest.Tree, x, b []float64, phi []float64, w float64) float64 {
+func interventionalTree(t *forest.Tree, x, b []float64, phi []float64, w float64, visits *int) float64 {
 	state := make(map[int]featState)
 	var pathFeats []int
 	var vEmpty float64
 
 	var walk func(node int)
 	walk = func(node int) {
+		*visits++
 		n := &t.Nodes[node]
 		if n.IsLeaf() {
 			// Classify path features.

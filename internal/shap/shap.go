@@ -11,6 +11,14 @@ import (
 	"sort"
 
 	"gef/internal/forest"
+	"gef/internal/obs"
+)
+
+// Metrics instruments (hoisted; see internal/obs): per-instance tree-node
+// visits are the TreeSHAP cost driver the ROADMAP's perf PRs will shard.
+var (
+	mInstances  = obs.Metrics().Counter("shap.instances")
+	mNodeVisits = obs.Metrics().Counter("shap.node_visits")
 )
 
 // pathElem is one entry of the feature path maintained by the TreeSHAP
@@ -28,11 +36,14 @@ type pathElem struct {
 func Values(f *forest.Forest, x []float64) (phi []float64, base float64) {
 	phi = make([]float64, f.NumFeatures)
 	base = f.BaseScore
+	visits := 0
 	for ti := range f.Trees {
 		t := &f.Trees[ti]
 		base += expectedValue(t, 0)
-		treeShap(t, x, phi)
+		treeShap(t, x, phi, &visits)
 	}
+	mInstances.Inc()
+	mNodeVisits.Add(int64(visits))
 	return phi, base
 }
 
@@ -47,12 +58,13 @@ func expectedValue(t *forest.Tree, i int) float64 {
 	return (l.Cover*expectedValue(t, n.Left) + r.Cover*expectedValue(t, n.Right)) / n.Cover
 }
 
-func treeShap(t *forest.Tree, x []float64, phi []float64) {
-	recurse(t, x, phi, 0, nil, 1, 1, -1)
+func treeShap(t *forest.Tree, x []float64, phi []float64, visits *int) {
+	recurse(t, x, phi, 0, nil, 1, 1, -1, visits)
 }
 
 // recurse implements Algorithm 2 of Lundberg et al. (2018), 0-indexed.
-func recurse(t *forest.Tree, x []float64, phi []float64, j int, m []pathElem, pz, po float64, pi int) {
+func recurse(t *forest.Tree, x []float64, phi []float64, j int, m []pathElem, pz, po float64, pi int, visits *int) {
+	*visits++
 	m = extend(m, pz, po, pi)
 	n := &t.Nodes[j]
 	if n.IsLeaf() {
@@ -72,8 +84,8 @@ func recurse(t *forest.Tree, x []float64, phi []float64, j int, m []pathElem, pz
 		m = unwind(m, k)
 	}
 	rj := t.Nodes[j].Cover
-	recurse(t, x, phi, hot, m, iz*t.Nodes[hot].Cover/rj, io, n.Feature)
-	recurse(t, x, phi, cold, m, iz*t.Nodes[cold].Cover/rj, 0, n.Feature)
+	recurse(t, x, phi, hot, m, iz*t.Nodes[hot].Cover/rj, io, n.Feature, visits)
+	recurse(t, x, phi, cold, m, iz*t.Nodes[cold].Cover/rj, 0, n.Feature, visits)
 }
 
 // extend grows the path with a new (pz, po, pi) fraction pair, updating

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repo verification: the tier-1 gate plus static analysis and race
+# detection on the concurrency-sensitive packages (the obs layer's
+# atomics and the pipeline that drives them).
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/obs ./internal/core
