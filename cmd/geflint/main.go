@@ -1,0 +1,87 @@
+// Command geflint runs GEF's domain lint suite (internal/analysis +
+// internal/analysis/checks) over the module. It is stdlib-only: it
+// parses and type-checks every package from source via go/parser and
+// go/types and needs no network, no export data and no external
+// analysis framework.
+//
+// Usage:
+//
+//	geflint [-json] [-checks c1,c2] [patterns ...]   lint packages (default ./...)
+//	geflint -list                                    enumerate registered checks
+//
+// Exit codes form the CI contract used by verify.sh: 0 means clean,
+// 1 means diagnostics were reported, 2 means the tool itself failed
+// (bad flags, unparsable or untypeable source).
+//
+// Findings are suppressed in source with a trailing or preceding
+//
+//	//lint:ignore <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gef/internal/analysis"
+	"gef/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("geflint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	sel := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range checks.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, ok := checks.ByName(*sel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "geflint: unknown check in -checks=%q (see geflint -list)\n", *sel)
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geflint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geflint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geflint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		err = analysis.WriteJSON(os.Stdout, diags, loader.ModuleRoot)
+	} else {
+		err = analysis.WriteText(os.Stdout, diags, loader.ModuleRoot)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "geflint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "geflint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

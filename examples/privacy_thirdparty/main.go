@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //lint:ignore errdrop best-effort cleanup of a temp dir on exit
 	handoff := filepath.Join(dir, "forest.json")
 
 	// ------------------------------------------------------------------
@@ -66,7 +66,10 @@ func modelOwner(handoffPath string) *gef.Dataset {
 	if err := gef.SaveForest(f, handoffPath); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(handoffPath)
+	info, err := os.Stat(handoffPath)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("forest serialized: %d trees, %d bytes — this file is ALL the authority gets\n",
 		len(f.Trees), info.Size())
 	return test

@@ -1,0 +1,119 @@
+// Package analysis is a from-scratch static-analysis framework built
+// only on the standard library's go/parser, go/ast and go/types. It
+// loads every package in the module, type-checks it against source
+// (no export data, no golang.org/x/tools), and runs registered
+// analyzers that report position-accurate diagnostics.
+//
+// The framework exists because GEF's correctness rests on numerically
+// delicate code — GCV lambda search, P-IRLS convergence, split-gain
+// accounting — where a silent float64 ==, a dropped error or a
+// nondeterministic map iteration corrupts explanations without failing
+// a test. Domain-specific analyzers live in internal/analysis/checks;
+// the cmd/geflint CLI drives them and verify.sh gates on a clean run.
+//
+// Diagnostics can be suppressed with a directive comment on the
+// offending line or the line directly above it:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects the pass's package and
+// reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and output
+	Doc  string // one-line description shown by `geflint -list`
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, positioned in the fileset's coordinates.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics: suppressed findings are dropped, malformed suppression
+// directives are added (check "lint"), and the result is sorted by
+// file, line, column and check for deterministic output.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions(pkgs)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, sup.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}

@@ -1,0 +1,165 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gef/internal/analysis"
+)
+
+// cmpAnalyzer flags every == and != comparison, regardless of type. It
+// exists purely to exercise the driver: suppression, malformed
+// directives, sorting and output encoding.
+var cmpAnalyzer = &analysis.Analyzer{
+	Name: "cmp",
+	Doc:  "test analyzer flagging every equality comparison",
+	Run: func(pass *analysis.Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if be, ok := n.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+					pass.Reportf(be.OpPos, "comparison with %s", be.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func loadSuppress(t *testing.T) *analysis.Package {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppress"), "golden/suppress")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return pkg
+}
+
+// lineOf maps a diagnostic to the name of the function containing it, so
+// assertions stay stable as testdata line numbers shift.
+func funcOf(pkg *analysis.Package, d analysis.Diagnostic) string {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			if d.Pos.Line >= start.Line && d.Pos.Line <= end.Line {
+				return fd.Name.Name
+			}
+		}
+	}
+	return fmt.Sprintf("<line %d>", d.Pos.Line)
+}
+
+func TestSuppression(t *testing.T) {
+	pkg := loadSuppress(t)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+
+	got := make(map[string][]string) // check → containing functions
+	for _, d := range diags {
+		got[d.Check] = append(got[d.Check], funcOf(pkg, d))
+	}
+
+	wantCmp := []string{"plain", "wrongCheck"}
+	if strings.Join(got["cmp"], ",") != strings.Join(wantCmp, ",") {
+		t.Errorf("cmp diagnostics in %v; want %v (above/trailing/multi suppressed)", got["cmp"], wantCmp)
+	}
+	if len(got["lint"]) != 1 {
+		t.Errorf("want exactly one malformed-directive diagnostic, got %v", got["lint"])
+	}
+	for _, d := range diags {
+		if d.Check == "lint" && !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("lint diagnostic message = %q", d.Message)
+		}
+	}
+}
+
+func TestRunSortsDiagnostics(t *testing.T) {
+	pkg := loadSuppress(t)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Fatalf("diagnostics out of order: line %d before line %d", a.Pos.Line, b.Pos.Line)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	pkg := loadSuppress(t)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+
+	var sb strings.Builder
+	if err := analysis.WriteJSON(&sb, diags, pkg.Dir); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != len(diags) {
+		t.Fatalf("JSON has %d entries; want %d", len(decoded), len(diags))
+	}
+	for i, e := range decoded {
+		if e.File != "suppress.go" {
+			t.Errorf("entry %d file = %q; want path relative to baseDir", i, e.File)
+		}
+		if e.Line <= 0 || e.Column <= 0 || e.Check == "" || e.Message == "" {
+			t.Errorf("entry %d incomplete: %+v", i, e)
+		}
+	}
+
+	// Clean runs must still emit a JSON array, not null.
+	sb.Reset()
+	if err := analysis.WriteJSON(&sb, nil, ""); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("WriteJSON(nil) = %q; want []", sb.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	pkg := loadSuppress(t)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	var sb strings.Builder
+	if err := analysis.WriteText(&sb, diags, pkg.Dir); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("WriteText produced %d lines; want %d", len(lines), len(diags))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "suppress.go:") || !strings.Contains(ln, ": cmp: ") && !strings.Contains(ln, ": lint: ") {
+			t.Errorf("unexpected text line %q", ln)
+		}
+	}
+}
+
+func TestLoadRejectsTypeErrors(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.LoadDir(filepath.Join("testdata", "src", "broken"), "golden/broken"); err == nil {
+		t.Fatal("LoadDir of a package with type errors should fail")
+	}
+}

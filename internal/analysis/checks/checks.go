@@ -1,0 +1,67 @@
+// Package checks holds GEF's domain-specific analyzers. Each analyzer
+// guards an invariant the pipeline's correctness or reproducibility
+// depends on; see the per-file documentation for the rationale.
+package checks
+
+import (
+	"go/ast"
+	"strings"
+
+	"gef/internal/analysis"
+)
+
+// All returns every registered analyzer, in stable order. New checks
+// are added here and become part of the verify.sh gate automatically.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Detrand,
+		Errdrop,
+		Floatcmp,
+		Obsspan,
+		Sliceret,
+	}
+}
+
+// ByName resolves a comma-separated selection like "floatcmp,errdrop".
+func ByName(names string) ([]*analysis.Analyzer, bool) {
+	if names == "" {
+		return All(), true
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+// The driver does not load test files, but golden-file packages may
+// include them and analyzers written against this helper stay correct
+// if the driver ever does.
+func isTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// enclosingFunc returns the function declaration lexically containing
+// pos in any of the pass's files, or nil.
+func enclosingFunc(pass *analysis.Pass, n ast.Node) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		if n.Pos() < f.Pos() || n.Pos() >= f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= n.Pos() && n.Pos() < fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// Detrand guards the reproducibility of the paper's experiments: every
+// random draw must flow from an explicitly seeded *rand.Rand, and no
+// serialized output may depend on Go's randomized map iteration order.
+// It flags:
+//
+//   - calls to math/rand package-level functions (Intn, Float64, Perm,
+//     Shuffle, ...), which draw from the global, unseeded source;
+//   - rand.NewSource / rand.New seeded from time.Now(), which is
+//     deterministic in no useful sense;
+//   - `for range` over a map whose body writes formatted or encoded
+//     output directly (fmt.Fprint*, Write*, json Encode): the emitted
+//     order changes run to run. Collect keys and sort first.
+//
+// Constructors rand.New and rand.NewSource themselves are fine — they
+// are exactly how call sites plumb an explicit seed.
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "flags global/time-seeded math/rand use and map-ordered serialization",
+	Run:  runDetrand,
+}
+
+func runDetrand(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || isTestFile(pass, n) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRandCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkRandCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods on an explicit *rand.Rand are the approved path
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf":
+		// Constructors: fine unless the seed itself is wall-clock time.
+		for _, arg := range call.Args {
+			if usesTimeNow(pass, arg) {
+				pass.Reportf(call.Pos(), "%s seeded from time.Now(); use a fixed or configured seed for reproducible experiments", fn.Name())
+				return
+			}
+		}
+	default:
+		pass.Reportf(call.Pos(), "math/rand.%s draws from the global source; plumb an explicitly seeded *rand.Rand instead", fn.Name())
+	}
+}
+
+// usesTimeNow reports whether expr contains a call to time.Now.
+func usesTimeNow(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// serializingCall reports whether call emits ordered output: formatted
+// printing, io writes, or streaming JSON encoding.
+func serializingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "io":
+		return fn.Name() == "WriteString"
+	case "encoding/json":
+		return fn.Name() == "Encode" // (*json.Encoder).Encode
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRangeOutput flags a range over a map whose body serializes
+// per-iteration output. Nested function literals are skipped: they do
+// not run in loop order by construction.
+func checkMapRangeOutput(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && serializingCall(pass, call) {
+			pass.Reportf(rng.For, "map iteration feeds serialized output in nondeterministic order; collect and sort keys first")
+			reported = true
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,188 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// Errdrop flags discarded error returns: calls whose error result is
+// ignored entirely (expression statements, go/defer statements) and
+// errors assigned to the blank identifier. A dropped error in a results
+// writer or CLI turns a failed experiment export into a silently
+// truncated file — the paper's tables would be reproduced from partial
+// data with no signal that anything went wrong.
+//
+// Deliberately not flagged:
+//   - test files (asserting helpers there idiomatically drop errors);
+//   - fmt.Print/Printf/Println, and fmt.Fprint* directed at os.Stdout
+//     or os.Stderr: console output is best-effort by convention;
+//   - writes through strings.Builder or bytes.Buffer, including via
+//     fmt.Fprint*: their Write methods are documented to never fail.
+var Errdrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags call results and blank assignments that discard an error",
+	Run:  runErrdrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// callResults returns the individual result types of a call expression.
+func callResults(pass *analysis.Pass, call *ast.CallExpr) []types.Type {
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return nil
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := range out {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}
+
+// calleeFunc resolves the called function object, or nil for indirect
+// calls and conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// neverFailsWriter reports whether t is strings.Builder or
+// bytes.Buffer (possibly behind a pointer), whose Write methods are
+// documented to always return a nil error.
+func neverFailsWriter(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// isConsoleWriter reports whether expr is os.Stdout or os.Stderr.
+func isConsoleWriter(pass *analysis.Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// errdropExempt reports whether a discarded error from this call is
+// conventional: stdout printing, or writes that cannot fail.
+func errdropExempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 &&
+				(neverFailsWriter(pass.TypeOf(call.Args[0])) || isConsoleWriter(pass, call.Args[0]))
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return neverFailsWriter(recv.Type())
+	}
+	return false
+}
+
+func runErrdrop(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, stmt)
+				return true
+			}
+			if call == nil || isTestFile(pass, n) {
+				return true
+			}
+			for _, rt := range callResults(pass, call) {
+				if isErrorType(rt) && !errdropExempt(pass, call) {
+					pass.Reportf(call.Pos(), "call discards its error result; handle it or annotate with //lint:ignore errdrop <reason>")
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags `_ = f()` and `v, _ := g()` where the blanked
+// position carries an error.
+func checkBlankAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if isTestFile(pass, stmt) {
+		return
+	}
+	report := func(pos ast.Node) {
+		pass.Reportf(pos.Pos(), "error discarded into _; handle it or annotate with //lint:ignore errdrop <reason>")
+	}
+	if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+		// Multi-value call: match blanks against tuple components.
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		results := callResults(pass, call)
+		for i, lhs := range stmt.Lhs {
+			if isBlank(lhs) && i < len(results) && isErrorType(results[i]) && !errdropExempt(pass, call) {
+				report(lhs)
+			}
+		}
+		return
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) || i >= len(stmt.Rhs) {
+			continue
+		}
+		rhs := stmt.Rhs[i]
+		if !isErrorType(pass.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && errdropExempt(pass, call) {
+			continue
+		}
+		report(lhs)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

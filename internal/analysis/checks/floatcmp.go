@@ -1,0 +1,98 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gef/internal/analysis"
+)
+
+// Floatcmp flags == and != between floating-point values. In the GCV
+// lambda search and P-IRLS convergence loops an exact float comparison
+// silently turns a tolerance decision into a bit-pattern decision:
+// results differ across architectures and compiler versions without any
+// test failing. Comparisons must go through a tolerance helper
+// (math.Abs(a-b) <= eps) or be explicitly annotated.
+//
+// Deliberately not flagged:
+//   - x != x / x == x (the standard NaN probe);
+//   - comparisons folded at compile time (both operands constant);
+//   - comparisons against literal zero: `w == 0` guards a division or
+//     tests an unset sentinel, which is an exactness decision, not a
+//     tolerance decision (0.0 is exactly representable);
+//   - comparisons inside recognized tolerance helpers, which are the
+//     approved home for the raw operator.
+var Floatcmp = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point operands outside tolerance helpers",
+	Run:  runFloatcmp,
+}
+
+// toleranceHelper reports whether a function name identifies an
+// approved comparison helper (almostEqual, approxEq, withinTol, ...).
+func toleranceHelper(name string) bool {
+	n := strings.ToLower(name)
+	for _, frag := range []string{"almosteq", "approxeq", "floateq", "withintol", "closeenough", "isclose"} {
+		if strings.Contains(n, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether tv is the constant 0 (of any numeric
+// flavor: 0, 0.0, float64(0), ...).
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func runFloatcmp(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			if isTestFile(pass, be) {
+				return true
+			}
+			// Constant-folded comparisons cannot drift at runtime, and
+			// comparisons against exact zero are exactness guards.
+			xv, yv := pass.Info.Types[be.X], pass.Info.Types[be.Y]
+			if xv.Value != nil && yv.Value != nil {
+				return true
+			}
+			if isZeroConst(xv) || isZeroConst(yv) {
+				return true
+			}
+			// The NaN probe: x != x.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			if fd := enclosingFunc(pass, be); fd != nil && toleranceHelper(fd.Name.Name) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or annotate why exact equality is intended", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package checks
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"gef/internal/analysis"
+)
+
+// wantRe extracts the expected-message pattern from a `// want "..."`
+// comment in a golden-test source file.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// goldenLoader is shared across golden tests so the standard library is
+// source-imported once, not once per analyzer.
+var goldenLoader *analysis.Loader
+
+func loadGolden(t *testing.T, dir string) *analysis.Package {
+	t.Helper()
+	if goldenLoader == nil {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		goldenLoader = l
+	}
+	pkg, err := goldenLoader.LoadDir(filepath.Join("testdata", "src", dir), "golden/"+dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// runGolden loads testdata/src/<dir>, runs the analyzer, and matches the
+// diagnostics against the `// want "pattern"` comments: every diagnostic
+// must land on a line with a matching want, and every want must be hit.
+func runGolden(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg := loadGolden(t, dir)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string]*want) // "file:line" → expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if wants[key] != nil {
+					t.Fatalf("%s: multiple want comments on one line", key)
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+				}
+				wants[key] = &want{re: re}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata/src/%s has no want comments; a golden test must assert at least one true positive", dir)
+	}
+
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		w := wants[key]
+		switch {
+		case w == nil:
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Check, d.Message)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("%s: diagnostic %q does not match want %q", key, d.Message, w.re)
+		default:
+			w.matched = true
+		}
+	}
+	for key, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+		}
+	}
+}
+
+func TestFloatcmpGolden(t *testing.T) { runGolden(t, Floatcmp, "floatcmp") }
+func TestErrdropGolden(t *testing.T)  { runGolden(t, Errdrop, "errdrop") }
+func TestDetrandGolden(t *testing.T)  { runGolden(t, Detrand, "detrand") }
+func TestObsspanGolden(t *testing.T)  { runGolden(t, Obsspan, "obsspan") }
+func TestSliceretGolden(t *testing.T) { runGolden(t, Sliceret, "sliceret") }
+
+// TestByName covers the -checks selection used by the CLI.
+func TestByName(t *testing.T) {
+	if as, ok := ByName(""); !ok || len(as) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, ok=%v; want all %d", len(as), ok, len(All()))
+	}
+	as, ok := ByName("floatcmp, errdrop")
+	if !ok || len(as) != 2 || as[0].Name != "floatcmp" || as[1].Name != "errdrop" {
+		t.Fatalf("ByName(floatcmp, errdrop) = %v, ok=%v", as, ok)
+	}
+	if _, ok := ByName("nosuchcheck"); ok {
+		t.Fatal("ByName(nosuchcheck) should fail")
+	}
+}

@@ -1,0 +1,90 @@
+package checks
+
+import (
+	"go/ast"
+
+	"gef/internal/analysis"
+)
+
+// obsPath is the import path of the observability layer every pipeline
+// stage is expected to report through.
+const obsPath = "gef/internal/obs"
+
+// instrumentedPkgs are the pipeline packages whose exported entry
+// points must be observable: they sit on the explain hot path and PR 1
+// threaded spans through them. New exported work in these packages must
+// not silently bypass the tracing layer.
+var instrumentedPkgs = map[string]bool{
+	"core":     true,
+	"gbdt":     true,
+	"gam":      true,
+	"sampling": true,
+	"featsel":  true,
+	"shap":     true,
+	"pdp":      true,
+}
+
+// Obsspan flags exported functions in instrumented pipeline packages
+// that run work loops without touching the obs layer (no span, event or
+// metric). Such functions are invisible to tracing: a production
+// latency regression inside them cannot be attributed to a stage. The
+// fix is an obs.Start span (or delegating to an instrumented variant);
+// genuinely trivial loops are annotated instead.
+var Obsspan = &analysis.Analyzer{
+	Name: "obsspan",
+	Doc:  "flags exported pipeline entry points with work loops but no obs instrumentation",
+	Run:  runObsspan,
+}
+
+func runObsspan(pass *analysis.Pass) {
+	if !instrumentedPkgs[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || isTestFile(pass, fd) {
+				continue
+			}
+			if !hasWorkLoop(fd.Body) || touchesObs(pass, fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported %s.%s runs work loops without opening an obs span; add obs.Start (see internal/obs) or annotate why it stays uninstrumented", pass.Pkg.Name(), fd.Name.Name)
+		}
+	}
+}
+
+// hasWorkLoop reports whether body contains a for or range statement
+// outside nested function literals (closures may run elsewhere and are
+// their callers' responsibility).
+func hasWorkLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// touchesObs reports whether body references anything from the obs
+// package: opening a span, recording an event, or updating a metric all
+// count as being visible to the observability layer.
+func touchesObs(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if obj := pass.Info.ObjectOf(id); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == obsPath {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

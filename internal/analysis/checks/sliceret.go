@@ -1,0 +1,144 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// Sliceret flags exported methods that return an unexported slice or
+// map field of their receiver by reference. Fitted models
+// (forest.Forest, gam.Model) are shared read-only between request
+// handlers once the service goes concurrent; an accessor that leaks an
+// internal backing slice lets one caller silently corrupt every other
+// caller's explanations. Accessors must copy, or annotate why aliasing
+// is safe (e.g. a documented zero-copy view).
+//
+// The check follows simple aliasing through locals: in
+//
+//	bt := &m.design.terms[ti]
+//	return bt.levels
+//
+// bt is rooted at the receiver, so the return is flagged too.
+var Sliceret = &analysis.Analyzer{
+	Name: "sliceret",
+	Doc:  "flags exported methods returning internal slice/map fields without copying",
+	Run:  runSliceret,
+}
+
+func runSliceret(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() || isTestFile(pass, fd) {
+				continue
+			}
+			recv := receiverObj(pass, fd)
+			if recv == nil {
+				continue
+			}
+			rooted := receiverRootedLocals(pass, fd, recv)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					checkAliasedReturn(pass, fd, rooted, res)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// receiverObj returns the object bound to the method's receiver, or
+// nil for unnamed receivers.
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// receiverRootedLocals returns the receiver object plus every local
+// variable assigned (transitively) from a receiver-rooted expression —
+// a deliberately shallow alias analysis: selectors, indexing, address
+// and dereference preserve rootedness; function calls and composite
+// literals break it (copies or fresh storage).
+func receiverRootedLocals(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) map[types.Object]bool {
+	rooted := map[types.Object]bool{recv: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || rooted[obj] || !isRooted(pass, rooted, as.Rhs[i]) {
+					continue
+				}
+				rooted[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+	return rooted
+}
+
+// isRooted reports whether expr aliases storage reachable from a rooted
+// object.
+func isRooted(pass *analysis.Pass, rooted map[types.Object]bool, expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(e)
+		return obj != nil && rooted[obj]
+	case *ast.SelectorExpr:
+		return isRooted(pass, rooted, e.X)
+	case *ast.IndexExpr:
+		return isRooted(pass, rooted, e.X)
+	case *ast.SliceExpr:
+		return isRooted(pass, rooted, e.X)
+	case *ast.StarExpr:
+		return isRooted(pass, rooted, e.X)
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isRooted(pass, rooted, e.X)
+	}
+	return false
+}
+
+// checkAliasedReturn reports res if it is `x.field` for a
+// receiver-rooted x and an unexported slice- or map-typed field.
+func checkAliasedReturn(pass *analysis.Pass, fd *ast.FuncDecl, rooted map[types.Object]bool, res ast.Expr) {
+	sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	if !isRooted(pass, rooted, sel.X) {
+		return
+	}
+	field := selection.Obj()
+	if field.Exported() {
+		return // the field is public anyway; the accessor adds no aliasing
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Slice, *types.Map:
+		pass.Reportf(res.Pos(), "exported method %s returns internal field %s by reference; copy it or annotate why the alias is safe", fd.Name.Name, field.Name())
+	}
+}

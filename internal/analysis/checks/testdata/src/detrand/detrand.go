@@ -1,0 +1,59 @@
+// Package detrand is golden-test input for the detrand analyzer.
+package detrand
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func global() int {
+	return rand.Intn(10) // want "draws from the global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "draws from the global source"
+}
+
+func timeSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want "NewSource seeded from time.Now"
+	return rand.New(src)
+}
+
+func dumpMap(m map[string]int) {
+	for k, v := range m { // want "map iteration feeds serialized output"
+		fmt.Println(k, v)
+	}
+}
+
+// An explicitly seeded source is exactly the approved path — exempt.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit *rand.Rand are exempt.
+func draws(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Accumulating over a map is order-independent — exempt.
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Collect-and-sort before printing is the approved pattern — exempt.
+func dumpSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,53 @@
+// Package errdrop is golden-test input for the errdrop analyzer.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func dropCall() {
+	os.Remove("x") // want "call discards its error result"
+}
+
+func dropDefer() {
+	f, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	defer f.Close() // want "call discards its error result"
+}
+
+func dropBlank() {
+	_ = os.Remove("x") // want "error discarded into _"
+}
+
+func dropMulti() {
+	f, _ := os.Open("x") // want "error discarded into _"
+	if f != nil {
+		_ = f.Close() // want "error discarded into _"
+	}
+}
+
+// Console printing never carries a recoverable error — exempt.
+func console(v int) {
+	fmt.Println("value:", v)
+	fmt.Fprintf(os.Stderr, "warn: %d\n", v)
+}
+
+// strings.Builder and bytes.Buffer writes are documented never to fail —
+// exempt.
+func builder(sb *strings.Builder) string {
+	sb.WriteString("x")
+	fmt.Fprintf(sb, "%d", 1)
+	return sb.String()
+}
+
+// Handled errors are the approved path — exempt.
+func handled() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package floatcmp is golden-test input for the floatcmp analyzer.
+package floatcmp
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func ne(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+// isNaN is the canonical self-comparison NaN probe — exempt.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+// isZero compares against a literal zero, an exactness guard — exempt.
+func isZero(x float64) bool {
+	return x == 0
+}
+
+// almostEqual is a tolerance helper by name — exempt inside.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+// ints compares integers — not a float comparison, exempt.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// constants fold at compile time — exempt.
+func constants() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.3
+}

@@ -1,0 +1,44 @@
+// Golden-test input for the obsspan analyzer. The package is named gbdt
+// so it falls inside the instrumented pipeline set; the directory name
+// does not matter to the check.
+package gbdt
+
+import (
+	"context"
+
+	"gef/internal/obs"
+)
+
+// Train has a work loop and never touches obs — flagged.
+func Train(xs []float64) float64 { // want "exported gbdt.Train runs work loops without opening an obs span"
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Predict opens a span — exempt.
+func Predict(xs []float64) float64 {
+	_, sp := obs.Start(context.Background(), "gbdt.predict", obs.Int("rows", len(xs)))
+	defer sp.End()
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// helper is unexported, so it is its callers' responsibility — exempt.
+func helper(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Name is exported but loop-free — exempt.
+func Name() string { return "gbdt" }
+
+var _ = helper

@@ -1,0 +1,52 @@
+// Package sliceret is golden-test input for the sliceret analyzer.
+package sliceret
+
+type inner struct {
+	levels []float64
+}
+
+// Model mimics a fitted model with internal backing storage.
+type Model struct {
+	beta  []float64
+	names map[string]int
+	in    inner
+
+	Data []float64
+}
+
+// Beta aliases an internal slice — flagged.
+func (m *Model) Beta() []float64 {
+	return m.beta // want "exported method Beta returns internal field beta by reference"
+}
+
+// Names aliases an internal map — flagged.
+func (m *Model) Names() map[string]int {
+	return m.names // want "exported method Names returns internal field names by reference"
+}
+
+// Levels aliases through a receiver-rooted local — still flagged.
+func (m *Model) Levels() []float64 {
+	in := &m.in
+	return in.levels // want "exported method Levels returns internal field levels by reference"
+}
+
+// BetaCopy copies — exempt.
+func (m *Model) BetaCopy() []float64 {
+	return append([]float64(nil), m.beta...)
+}
+
+// Fresh returns newly allocated storage — exempt.
+func (m *Model) Fresh() []float64 {
+	out := make([]float64, len(m.beta))
+	copy(out, m.beta)
+	return out
+}
+
+// All returns an exported field: direct access already aliases it, the
+// accessor adds nothing — exempt.
+func (m *Model) All() []float64 { return m.Data }
+
+// size is unexported — exempt.
+func (m *Model) size() int { return len(m.beta) }
+
+var _ = (*Model)(nil).size

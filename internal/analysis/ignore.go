@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full syntax is
+//
+//	//lint:ignore check1[,check2...] reason...
+//
+// matching the staticcheck convention: the directive suppresses the
+// named checks on its own line and on the line directly below it, so it
+// can trail the offending statement or sit on the line above.
+const ignorePrefix = "//lint:ignore"
+
+type ignoreKey struct {
+	file  string
+	line  int
+	check string
+}
+
+type suppressions struct {
+	keys      map[ignoreKey]bool
+	malformed []Diagnostic
+}
+
+func newSuppressions(pkgs []*Package) *suppressions {
+	s := &suppressions{keys: make(map[ignoreKey]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Diagnostic{
+							Check:   "lint",
+							Pos:     pos,
+							Message: "malformed //lint:ignore directive: want \"//lint:ignore <check> <reason>\"",
+						})
+						continue
+					}
+					for _, check := range strings.Split(fields[0], ",") {
+						s.keys[ignoreKey{pos.Filename, pos.Line, check}] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by a directive on its own
+// line or the line directly above.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	return s.keys[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+		s.keys[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+}

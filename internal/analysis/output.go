@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the machine-readable shape of one finding, stable
+// for CI consumers of `geflint -json`.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// relPath shortens file to be relative to baseDir when possible.
+func relPath(baseDir, file string) string {
+	if baseDir == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(baseDir, file); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// WriteText prints diagnostics one per line as
+// "path:line:col: check: message", with paths relative to baseDir.
+func WriteText(w io.Writer, diags []Diagnostic, baseDir string) error {
+	for _, d := range diags {
+		_, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n",
+			relPath(baseDir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints diagnostics as a JSON array (always an array, "[]"
+// when clean) with paths relative to baseDir.
+func WriteJSON(w io.Writer, diags []Diagnostic, baseDir string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    relPath(baseDir, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

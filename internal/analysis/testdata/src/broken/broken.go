@@ -1,0 +1,7 @@
+// Package broken fails to type-check; the loader test asserts this is a
+// load error, not a silent pass with partial type information.
+package broken
+
+func oops() int {
+	return "not an int"
+}

@@ -1,0 +1,37 @@
+// Package suppress is driver-test input for the suppression and output
+// machinery. The test registers a toy analyzer that flags every == and
+// != comparison; the directives below exercise each suppression form.
+package suppress
+
+// Unsuppressed: the toy check flags this line.
+func plain(a, b int) bool {
+	return a == b
+}
+
+// Directive on the line above the finding.
+func above(a, b int) bool {
+	//lint:ignore cmp equality is intended here
+	return a == b
+}
+
+// Directive trailing the finding on the same line.
+func trailing(a, b int) bool {
+	return a == b //lint:ignore cmp equality is intended here
+}
+
+// Comma-separated check list covers this check among others.
+func multi(a, b int) bool {
+	//lint:ignore cmp,other covered by a multi-check directive
+	return a != b
+}
+
+// A directive naming a different check does not suppress this one.
+func wrongCheck(a, b int) bool {
+	//lint:ignore other this directive names another check
+	return a == b
+}
+
+//lint:ignore cmp
+func malformed(a, b int) bool {
+	return a > b
+}

@@ -261,6 +261,7 @@ func buildSpec(f *forest.Forest, features []int, pairs []featsel.Pair, cfg Confi
 func isCategorical(thresholds []float64, l int) bool {
 	distinct := 0
 	for i, v := range thresholds {
+		//lint:ignore floatcmp distinct-count over sorted thresholds; duplicates are bit-identical copies of the same split value
 		if i == 0 || v != thresholds[i-1] {
 			distinct++
 		}

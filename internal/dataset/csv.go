@@ -95,6 +95,7 @@ func SaveCSVFile(d *Dataset, path string) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore errdrop double-close guard; the explicit Close below surfaces write errors
 	defer f.Close()
 	if err := WriteCSV(d, f); err != nil {
 		return err
@@ -108,6 +109,7 @@ func LoadCSVFile(path string, task Task) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errdrop close error on a read-only file carries no data-loss signal
 	defer f.Close()
 	return ReadCSV(f, task)
 }

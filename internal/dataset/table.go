@@ -48,6 +48,7 @@ func (t *Table) Validate() error {
 			}
 			for i, v := range c.Values {
 				idx := int(v)
+				//lint:ignore floatcmp integrality check: level codes must round-trip through int exactly
 				if float64(idx) != v || idx < 0 || idx >= len(c.Levels) {
 					return fmt.Errorf("table: column %q row %d has invalid level %v", c.Name, i, v)
 				}

@@ -110,16 +110,34 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// errWriter tracks the first error of a sequence of writes so report
+// rendering fails loudly instead of producing silently truncated
+// tables (the paper's numbers must not be reproduced from partial
+// output).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
 // Render writes the report as aligned text to w and, when p.OutDir is
-// set, dumps each table and series as a CSV file.
+// set, dumps each table and series as a CSV file. It returns the first
+// write error.
 func (r *Report) Render(w io.Writer, outDir string) error {
-	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	ew := &errWriter{w: w}
+	ew.printf("== %s — %s ==\n", r.ID, r.Title)
 	for _, n := range r.Notes {
-		fmt.Fprintf(w, "   %s\n", n)
+		ew.printf("   %s\n", n)
 	}
 	for _, t := range r.Tables {
-		fmt.Fprintf(w, "\n-- %s --\n", t.Name)
-		writeAligned(w, t)
+		ew.printf("\n-- %s --\n", t.Name)
+		writeAligned(ew, t)
 		if outDir != "" {
 			if err := writeTableCSV(outDir, r.ID, t); err != nil {
 				return err
@@ -134,20 +152,20 @@ func (r *Report) Render(w io.Writer, outDir string) error {
 		}
 	}
 	if len(r.Series) > 0 {
-		fmt.Fprintf(w, "\n-- series --\n")
+		ew.printf("\n-- series --\n")
 		for _, s := range r.Series {
-			fmt.Fprintf(w, "%-40s %d points", s.Name, len(s.X))
+			ew.printf("%-40s %d points", s.Name, len(s.X))
 			if n := len(s.Y); n > 0 {
-				fmt.Fprintf(w, "  (y: first %.4g, last %.4g)", s.Y[0], s.Y[n-1])
+				ew.printf("  (y: first %.4g, last %.4g)", s.Y[0], s.Y[n-1])
 			}
-			fmt.Fprintln(w)
+			ew.printf("\n")
 		}
 	}
-	fmt.Fprintln(w)
-	return nil
+	ew.printf("\n")
+	return ew.err
 }
 
-func writeAligned(w io.Writer, t Table) {
+func writeAligned(ew *errWriter, t Table) {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -168,7 +186,7 @@ func writeAligned(w io.Writer, t Table) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		ew.printf("%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))

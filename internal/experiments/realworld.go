@@ -93,6 +93,7 @@ func RunFig7(p Params) (*Report, error) {
 func distinctCount(sorted []float64) int {
 	c := 0
 	for i, v := range sorted {
+		//lint:ignore floatcmp distinct-count over a sorted column; duplicates are bit-identical
 		if i == 0 || v != sorted[i-1] {
 			c++
 		}

@@ -22,6 +22,7 @@ func TopFeatures(f *forest.Forest, k int) []int {
 	imp := f.GainImportance()
 	used := f.UsedFeatures()
 	sort.SliceStable(used, func(a, b int) bool {
+		//lint:ignore floatcmp exact tie-break in a sort comparator keeps the ordering total and deterministic
 		if imp[used[a]] != imp[used[b]] {
 			return imp[used[a]] > imp[used[b]]
 		}
@@ -138,6 +139,7 @@ func rankInteractions(f *forest.Forest, selected []int, strategy InteractionStra
 		pairs = append(pairs, Pair{I: k[0], J: k[1], Score: scores[k]})
 	})
 	sort.SliceStable(pairs, func(x, y int) bool {
+		//lint:ignore floatcmp exact tie-break in a sort comparator keeps the ordering total and deterministic
 		if pairs[x].Score != pairs[y].Score {
 			return pairs[x].Score > pairs[y].Score
 		}

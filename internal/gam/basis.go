@@ -146,6 +146,7 @@ func factorLevels(col []float64) []float64 {
 	sort.Float64s(s)
 	out := s[:0]
 	for i, v := range s {
+		//lint:ignore floatcmp dedupe of sorted raw data; equal levels are bit-identical copies
 		if i == 0 || v != s[i-1] {
 			out = append(out, v)
 		}
@@ -157,6 +158,7 @@ func factorLevels(col []float64) []float64 {
 // an observed level (treated as contributing zero, i.e. the average).
 func levelIndex(levels []float64, v float64) int {
 	i := sort.SearchFloat64s(levels, v)
+	//lint:ignore floatcmp exact membership: levels are bit-identical copies of observed data values
 	if i < len(levels) && levels[i] == v {
 		return i
 	}

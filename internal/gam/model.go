@@ -1,9 +1,11 @@
 package gam
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"gef/internal/obs"
 	"gef/internal/stats"
 )
 
@@ -24,6 +26,8 @@ func (m *Model) Term(i int) TermSpec { return m.design.terms[i].spec }
 func (m *Model) Intercept() float64 { return m.intercept }
 
 // PredictRaw returns the linear predictor η(x) = α + Σ_j s_j(x).
+//
+//lint:ignore obsspan per-row hot path; PredictBatch carries the span for batch work
 func (m *Model) PredictRaw(x []float64) float64 {
 	s := m.intercept
 	for ti := range m.design.terms {
@@ -44,6 +48,8 @@ func (m *Model) Predict(x []float64) float64 {
 
 // PredictBatch applies Predict to every row.
 func (m *Model) PredictBatch(xs [][]float64) []float64 {
+	_, sp := obs.Start(context.Background(), "gam.predict_batch", obs.Int("rows", len(xs)))
+	defer sp.End()
 	out := make([]float64, len(xs))
 	for i, x := range xs {
 		out[i] = m.Predict(x)
@@ -53,6 +59,8 @@ func (m *Model) PredictBatch(xs [][]float64) []float64 {
 
 // TermValue evaluates the centered contribution s_i(x) of term i at the
 // full input row x.
+//
+//lint:ignore obsspan per-row hot path called once per term per prediction; spans here would dominate the work
 func (m *Model) TermValue(ti int, x []float64) float64 {
 	bt := &m.design.terms[ti]
 	var sv, sv2 [degree + 1]float64
@@ -104,6 +112,9 @@ func (m *Model) TermCurve(ti int, grid []float64, level float64) (*Curve, error)
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("gam: empty grid for term %d", ti)
 	}
+	_, sp := obs.Start(context.Background(), "gam.term_curve",
+		obs.Int("term", ti), obs.Int("grid", len(grid)))
+	defer sp.End()
 	z := stats.NormalQuantile(0.5 + level/2)
 	c := &Curve{
 		X:     append([]float64(nil), grid...),
@@ -139,6 +150,9 @@ func (m *Model) TermSurface(ti int, grid1, grid2 []float64) (*Surface, error) {
 	if len(grid1) == 0 || len(grid2) == 0 {
 		return nil, fmt.Errorf("gam: empty grid for term %d", ti)
 	}
+	_, sp := obs.Start(context.Background(), "gam.term_surface",
+		obs.Int("term", ti), obs.Int("grid1", len(grid1)), obs.Int("grid2", len(grid2)))
+	defer sp.End()
 	s := &Surface{
 		X1: append([]float64(nil), grid1...),
 		X2: append([]float64(nil), grid2...),
@@ -232,6 +246,8 @@ type Contribution struct {
 
 // Explain decomposes the prediction at x into the intercept plus
 // per-term contributions sorted by decreasing |value|.
+//
+//lint:ignore obsspan per-instance explanation is a handful of TermValue calls; too cheap to span
 func (m *Model) Explain(x []float64) (intercept float64, contribs []Contribution) {
 	contribs = make([]Contribution, m.NumTerms())
 	for ti := range contribs {

@@ -1,11 +1,13 @@
 package gam
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 
 	"gef/internal/linalg"
+	"gef/internal/obs"
 )
 
 // modelFormatVersion guards the on-disk layout of serialized models.
@@ -38,6 +40,9 @@ type modelJSON struct {
 // survive the round trip; without it the reloaded model predicts and
 // explains but TermCurve returns zero standard errors.
 func (m *Model) Marshal(includeCI bool) ([]byte, error) {
+	_, sp := obs.Start(context.Background(), "gam.marshal",
+		obs.Int("terms", len(m.design.terms)), obs.Bool("include_ci", includeCI))
+	defer sp.End()
 	mj := modelJSON{
 		Version:   modelFormatVersion,
 		Link:      m.spec.Link,
@@ -68,6 +73,8 @@ func (m *Model) Marshal(includeCI bool) ([]byte, error) {
 
 // UnmarshalModel reconstructs a fitted model serialized by Marshal.
 func UnmarshalModel(data []byte) (*Model, error) {
+	_, sp := obs.Start(context.Background(), "gam.unmarshal_model", obs.Int("bytes", len(data)))
+	defer sp.End()
 	var mj modelJSON
 	if err := json.Unmarshal(data, &mj); err != nil {
 		return nil, fmt.Errorf("gam: parsing model JSON: %w", err)

@@ -98,6 +98,8 @@ func (o Options) withDefaults() Options {
 
 // LogSpace returns n logarithmically spaced values from lo to hi
 // inclusive.
+//
+//lint:ignore obsspan trivial grid helper; n is a handful of exp calls
 func LogSpace(lo, hi float64, n int) []float64 {
 	if n < 2 || lo <= 0 || hi <= lo {
 		panic(fmt.Sprintf("gam: invalid LogSpace(%v, %v, %d)", lo, hi, n))

@@ -57,6 +57,7 @@ func buildBins(col []float64, maxBins int) *featureBins {
 	var vals []float64
 	var counts []int
 	for i, v := range sorted {
+		//lint:ignore floatcmp distinct-value binning over sorted data; duplicates are bit-identical
 		if i == 0 || v != sorted[i-1] {
 			vals = append(vals, v)
 			counts = append(counts, 1)

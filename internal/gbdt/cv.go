@@ -1,11 +1,13 @@
 package gbdt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"gef/internal/dataset"
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/stats"
 )
 
@@ -33,6 +35,10 @@ func GridSearchCV(ds *dataset.Dataset, base Params, grid Grid, k int, seed int64
 	if len(grid.NumTrees) == 0 || len(grid.NumLeaves) == 0 || len(grid.LearningRates) == 0 {
 		return Params{}, nil, fmt.Errorf("gbdt: empty grid")
 	}
+	_, sp := obs.Start(context.Background(), "gbdt.grid_search_cv",
+		obs.Int("configs", len(grid.NumTrees)*len(grid.NumLeaves)*len(grid.LearningRates)),
+		obs.Int("folds", k))
+	defer sp.End()
 	folds := dataset.KFold(ds.NumRows(), k, seed)
 	var results []GridResult
 	best := -1

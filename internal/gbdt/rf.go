@@ -1,11 +1,13 @@
 package gbdt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"gef/internal/dataset"
 	"gef/internal/forest"
+	"gef/internal/obs"
 	"gef/internal/stats"
 )
 
@@ -70,6 +72,7 @@ func TrainRF(ds *dataset.Dataset, p RFParams) (*forest.Forest, error) {
 	p = p.withDefaults(ds.NumFeatures())
 	if p.Classification {
 		for _, y := range ds.Y {
+			//lint:ignore floatcmp binary labels must be exactly 0 or 1; anything else is a data error
 			if y != 0 && y != 1 {
 				return nil, fmt.Errorf("gbdt: RF classification requires targets in {0,1}, found %v", y)
 			}
@@ -78,6 +81,12 @@ func TrainRF(ds *dataset.Dataset, p RFParams) (*forest.Forest, error) {
 
 	n := ds.NumRows()
 	numFeat := ds.NumFeatures()
+	_, sp := obs.Start(context.Background(), "gbdt.train_rf",
+		obs.Int("rows", n),
+		obs.Int("features", numFeat),
+		obs.Int("num_trees", p.NumTrees),
+		obs.Int("num_leaves", p.NumLeaves))
+	defer sp.End()
 	bd := binDataset(ds.X, numFeat, p.MaxBins)
 	rng := rand.New(rand.NewSource(p.Seed))
 

@@ -131,6 +131,7 @@ func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params)
 	}
 	if p.Objective == forest.BinaryLogistic {
 		for _, y := range train.Y {
+			//lint:ignore floatcmp binary labels must be exactly 0 or 1; anything else is a data error
 			if y != 0 && y != 1 {
 				return nil, nil, fmt.Errorf("gbdt: binary objective requires targets in {0,1}, found %v", y)
 			}

@@ -52,6 +52,7 @@ func (c *CLI) Start(name string) (stop func(), err error) {
 
 	cleanupOnErr := func() {
 		for _, cl := range closers {
+			//lint:ignore errdrop error-path cleanup; the primary error is already being returned
 			cl.Close()
 		}
 	}
@@ -95,7 +96,9 @@ func (c *CLI) Start(name string) (stop func(), err error) {
 			pprof.StopCPUProfile()
 		}
 		if s := CurrentSink(); s != nil {
-			s.Flush()
+			if err := s.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: flushing trace sink: %v\n", err)
+			}
 		}
 		SetSink(nil)
 		if c.MetricsOut != "" {
@@ -111,11 +114,15 @@ func (c *CLI) Start(name string) (stop func(), err error) {
 				if err := pprof.WriteHeapProfile(f); err != nil {
 					fmt.Fprintf(os.Stderr, "obs: writing mem profile: %v\n", err)
 				}
-				f.Close()
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "obs: closing mem profile: %v\n", err)
+				}
 			}
 		}
 		for _, cl := range closers {
-			cl.Close()
+			if err := cl.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: closing output: %v\n", err)
+			}
 		}
 	}, nil
 }

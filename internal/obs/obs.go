@@ -37,11 +37,11 @@ type Attr struct {
 }
 
 // Int, F64, Str and Bool build span attributes.
-func Int(k string, v int) Attr      { return Attr{Key: k, Value: v} }
-func I64(k string, v int64) Attr    { return Attr{Key: k, Value: v} }
-func F64(k string, v float64) Attr  { return Attr{Key: k, Value: v} }
-func Str(k, v string) Attr          { return Attr{Key: k, Value: v} }
-func Bool(k string, v bool) Attr    { return Attr{Key: k, Value: v} }
+func Int(k string, v int) Attr           { return Attr{Key: k, Value: v} }
+func I64(k string, v int64) Attr         { return Attr{Key: k, Value: v} }
+func F64(k string, v float64) Attr       { return Attr{Key: k, Value: v} }
+func Str(k, v string) Attr               { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr         { return Attr{Key: k, Value: v} }
 func Dur(k string, v time.Duration) Attr { return Attr{Key: k, Value: v.Seconds()} }
 
 // SpanData is the immutable record a Sink receives. At Begin time Wall and

@@ -27,38 +27,52 @@ type Sink interface {
 //	   -> sampling.build_domains
 //	   <- sampling.build_domains 1.8ms +312KB (features=5 points=320)
 type TextSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	err error // first write error, surfaced by Flush
 }
 
 // NewTextSink returns a text sink writing to w.
 func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
 
+// printf writes through the sink, capturing the first write error so a
+// truncated trace does not pass silently; Flush reports it.
+func (t *TextSink) printf(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, format, args...)
+}
+
 func (t *TextSink) Begin(sp *SpanData) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "%s-> %s\n", strings.Repeat("   ", sp.Depth), sp.Name)
+	t.printf("%s-> %s\n", strings.Repeat("   ", sp.Depth), sp.Name)
 }
 
 func (t *TextSink) End(sp *SpanData) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	indent := strings.Repeat("   ", sp.Depth)
-	fmt.Fprintf(t.w, "%s<- %s %v +%s", indent, sp.Name, sp.Wall, byteSize(sp.AllocBytes))
+	t.printf("%s<- %s %v +%s", indent, sp.Name, sp.Wall, byteSize(sp.AllocBytes))
 	if len(sp.Attrs) > 0 {
-		fmt.Fprint(t.w, " (")
+		t.printf(" (")
 		for i, a := range sp.Attrs {
 			if i > 0 {
-				fmt.Fprint(t.w, " ")
+				t.printf(" ")
 			}
-			fmt.Fprintf(t.w, "%s=%v", a.Key, a.Value)
+			t.printf("%s=%v", a.Key, a.Value)
 		}
-		fmt.Fprint(t.w, ")")
+		t.printf(")")
 	}
-	fmt.Fprintln(t.w)
+	t.printf("\n")
 }
 
-func (t *TextSink) Flush() error { return nil }
+func (t *TextSink) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
 
 // byteSize renders a byte count compactly (B / KB / MB / GB).
 func byteSize(b uint64) string {
@@ -84,6 +98,7 @@ type JSONSink struct {
 	mu  sync.Mutex
 	enc *json.Encoder
 	w   io.Writer
+	err error // first encode error, surfaced by Flush
 }
 
 // NewJSONSink returns a JSON-lines sink writing to w.
@@ -96,10 +111,18 @@ func (j *JSONSink) Begin(sp *SpanData) {}
 func (j *JSONSink) End(sp *SpanData) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_ = j.enc.Encode(sp)
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(sp)
 }
 
 func (j *JSONSink) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
 	if f, ok := j.w.(interface{ Sync() error }); ok {
 		return f.Sync()
 	}

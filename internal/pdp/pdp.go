@@ -122,6 +122,8 @@ func ICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]fl
 
 // CenteredICE returns ICE curves anchored at the first grid point
 // (c-ICE), which makes heterogeneity in slopes directly comparable.
+//
+//lint:ignore obsspan delegates to ICE, which carries the forest-eval instrumentation; centering is a cheap pass
 func CenteredICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]float64 {
 	curves := ICE(f, background, j, grid)
 	for _, c := range curves {

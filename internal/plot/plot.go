@@ -55,9 +55,11 @@ func Render(lines []Line, opt Options) string {
 	if !isFinite(xlo) || !isFinite(ylo) {
 		return "(no finite data)\n"
 	}
+	//lint:ignore floatcmp degenerate-range guard: only an exactly collapsed axis needs widening
 	if xhi == xlo {
 		xhi = xlo + 1
 	}
+	//lint:ignore floatcmp degenerate-range guard: only an exactly collapsed axis needs widening
 	if yhi == ylo {
 		yhi = ylo + 1
 	}

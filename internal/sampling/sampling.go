@@ -274,6 +274,7 @@ func sortedCopy(xs []float64) []float64 {
 func dedupeSorted(sorted []float64) []float64 {
 	out := make([]float64, 0, len(sorted))
 	for i, v := range sorted {
+		//lint:ignore floatcmp dedupe of sorted thresholds; duplicates are bit-identical copies
 		if i == 0 || v != out[len(out)-1] {
 			out = append(out, v)
 		}
@@ -288,6 +289,8 @@ func (d *Domains) DomainSize(j int) int { return len(d.Points[j]) }
 // SampleRow fills a full-width input row: selected features draw uniformly
 // from their domains (or ranges for Random), unselected features take
 // their fill value.
+//
+//lint:ignore obsspan per-row hot path; the enclosing GenerateCtx span covers the batch
 func (d *Domains) SampleRow(rng *rand.Rand) []float64 {
 	x := make([]float64, d.NumFeatures)
 	copy(x, d.Fill)

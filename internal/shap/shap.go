@@ -7,6 +7,7 @@
 package shap
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -164,6 +165,8 @@ type Attribution struct {
 
 // TopAttributions returns the k attributions with the largest magnitude,
 // sorted by decreasing |value|.
+//
+//lint:ignore obsspan sorts one already-computed attribution vector; Values carries the per-instance instrumentation
 func TopAttributions(phi []float64, k int) []Attribution {
 	out := make([]Attribution, 0, len(phi))
 	for f, v := range phi {
@@ -182,6 +185,9 @@ func TopAttributions(phi []float64, k int) []Attribution {
 // the paper describes SHAP being used globally: the mean |φᵢ| over the
 // sample for every feature.
 func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
+	_, sp := obs.Start(context.Background(), "shap.global_importance",
+		obs.Int("sample", len(sample)), obs.Int("features", f.NumFeatures))
+	defer sp.End()
 	imp := make([]float64, f.NumFeatures)
 	for _, x := range sample {
 		phi, _ := Values(f, x)
@@ -199,6 +205,9 @@ func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
 // the sample: pairs (x_j, φ_j), the representation the paper's Figs. 9b
 // and 10b plot.
 func DependenceSeries(f *forest.Forest, sample [][]float64, j int) (xs, phis []float64) {
+	_, sp := obs.Start(context.Background(), "shap.dependence_series",
+		obs.Int("sample", len(sample)), obs.Int("feature", j))
+	defer sp.End()
 	xs = make([]float64, len(sample))
 	phis = make([]float64, len(sample))
 	for i, x := range sample {

@@ -107,6 +107,7 @@ func distinctSorted(xs []float64) []float64 {
 	sort.Float64s(s)
 	out := s[:0]
 	for i, v := range s {
+		//lint:ignore floatcmp dedupe of sorted values; duplicates are bit-identical
 		if i == 0 || v != s[i-1] {
 			out = append(out, v)
 		}

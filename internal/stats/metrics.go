@@ -85,6 +85,7 @@ func Accuracy(prob, target []float64) float64 {
 		if p >= 0.5 {
 			cls = 1
 		}
+		//lint:ignore floatcmp class labels are exactly 0 or 1 by contract; exact match is the definition of accuracy
 		if cls == target[i] {
 			correct++
 		}
@@ -196,6 +197,7 @@ func AveragePrecision(scores []float64, relevant map[int]bool) float64 {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
+		//lint:ignore floatcmp exact tie-break in a sort comparator keeps the ordering total and deterministic
 		if scores[order[a]] != scores[order[b]] {
 			return scores[order[a]] > scores[order[b]]
 		}

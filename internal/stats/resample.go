@@ -77,6 +77,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floatcmp midrank tie grouping: only bit-identical values share a rank
 		for j+1 < n && xs[order[j+1]] == xs[order[i]] {
 			j++
 		}

@@ -135,6 +135,7 @@ func WelchTTest(a, b []float64) WelchResult {
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
 	if se == 0 {
+		//lint:ignore floatcmp zero-variance degenerate case: equal means give t = 0, anything else diverges
 		if ma == mb {
 			return WelchResult{T: 0, DF: na + nb - 2, P: 1}
 		}
