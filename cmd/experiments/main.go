@@ -20,19 +20,22 @@ import (
 
 	"gef/internal/experiments"
 	"gef/internal/obs"
+	"gef/internal/par"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (fig2..fig13, table1, table2) or 'all'")
-		scale = flag.String("scale", "quick", "experiment scale: quick or paper")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "", "directory for CSV dumps (optional)")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (fig2..fig13, table1, table2) or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or paper")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "directory for CSV dumps (optional)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -18,22 +18,25 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/gbdt"
+	"gef/internal/par"
 	"gef/internal/stats"
 )
 
 func main() {
 	var (
-		data   = flag.String("data", "", "CSV file with a header row and the target in the last column")
-		task   = flag.String("task", "regression", "task for -data: regression or classification")
-		gen    = flag.String("gen", "", "built-in generator: gprime, sigmoid, superconductivity, census")
-		rows   = flag.Int("rows", 8000, "rows for built-in generators")
-		trees  = flag.Int("trees", 200, "boosting rounds")
-		leaves = flag.Int("leaves", 32, "max leaves per tree")
-		lr     = flag.Float64("lr", 0.1, "learning rate")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "forest.json", "output path for the serialized forest")
+		data    = flag.String("data", "", "CSV file with a header row and the target in the last column")
+		task    = flag.String("task", "regression", "task for -data: regression or classification")
+		gen     = flag.String("gen", "", "built-in generator: gprime, sigmoid, superconductivity, census")
+		rows    = flag.Int("rows", 8000, "rows for built-in generators")
+		trees   = flag.Int("trees", 200, "boosting rounds")
+		leaves  = flag.Int("leaves", 32, "max leaves per tree")
+		lr      = flag.Float64("lr", 0.1, "learning rate")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "forest.json", "output path for the serialized forest")
+		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	ds, err := loadData(*data, *task, *gen, *rows, *seed)
 	if err != nil {

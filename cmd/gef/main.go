@@ -30,6 +30,7 @@ import (
 	"gef/internal/forest"
 	"gef/internal/gam"
 	"gef/internal/obs"
+	"gef/internal/par"
 	"gef/internal/plot"
 	"gef/internal/sampling"
 )
@@ -49,10 +50,12 @@ func main() {
 		auto         = flag.Bool("auto", false, "choose |F'| and |F''| automatically (marginal-fidelity search)")
 		doDistill    = flag.Bool("distill", false, "also distill a single-tree surrogate and print its rules")
 		saveModel    = flag.String("save-model", "", "write the fitted GAM to this JSON file")
+		workers      = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	if *forestPath == "" {
 		fmt.Fprintln(os.Stderr, "gef: -forest is required")

@@ -18,6 +18,7 @@ func All() []*analysis.Analyzer {
 		Errdrop,
 		Floatcmp,
 		Obsspan,
+		Rawgo,
 		Sliceret,
 	}
 }

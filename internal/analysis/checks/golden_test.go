@@ -93,6 +93,7 @@ func TestFloatcmpGolden(t *testing.T) { runGolden(t, Floatcmp, "floatcmp") }
 func TestErrdropGolden(t *testing.T)  { runGolden(t, Errdrop, "errdrop") }
 func TestDetrandGolden(t *testing.T)  { runGolden(t, Detrand, "detrand") }
 func TestObsspanGolden(t *testing.T)  { runGolden(t, Obsspan, "obsspan") }
+func TestRawgoGolden(t *testing.T)    { runGolden(t, Rawgo, "rawgo") }
 func TestSliceretGolden(t *testing.T) { runGolden(t, Sliceret, "sliceret") }
 
 // TestByName covers the -checks selection used by the CLI.

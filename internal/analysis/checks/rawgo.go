@@ -1,0 +1,48 @@
+package checks
+
+import (
+	"go/ast"
+
+	"gef/internal/analysis"
+)
+
+// concurrencyPkgs are the only packages allowed to spawn goroutines
+// directly. internal/par is the worker-pool runtime every pipeline
+// stage parallelizes through; internal/obs owns its own background
+// flushing. Everything else must route concurrency through par so the
+// determinism contract (fixed chunk boundaries, ordered reduction,
+// bitwise-identical results at any worker count) cannot be bypassed by
+// an ad-hoc `go func`.
+var concurrencyPkgs = map[string]bool{
+	"gef/internal/par": true,
+	"gef/internal/obs": true,
+}
+
+// Rawgo flags `go` statements outside the sanctioned concurrency
+// runtimes. A raw goroutine spawn elsewhere in the pipeline escapes the
+// par worker budget (-workers is no longer an upper bound), dodges the
+// race-discovery gate in verify.sh, and — if it touches shared
+// accumulators — can reintroduce the nondeterministic reduction orders
+// PR 3 eliminated. The fix is par.For / par.MapReduce; truly exceptional
+// spawns are annotated with //lint:ignore rawgo <reason>.
+var Rawgo = &analysis.Analyzer{
+	Name: "rawgo",
+	Doc:  "flags goroutine spawns outside internal/par and internal/obs",
+	Run:  runRawgo,
+}
+
+func runRawgo(pass *analysis.Pass) {
+	if concurrencyPkgs[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok || isTestFile(pass, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "raw goroutine spawn outside internal/par; use par.For or par.MapReduce so the work respects -workers and the determinism contract")
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+// Golden-test input for the rawgo analyzer. The package path is
+// golden/rawgo — outside the sanctioned concurrency packages — so every
+// go statement here must be flagged unless suppressed.
+package rawgo
+
+import "sync"
+
+// fanOut spawns raw goroutines instead of going through par — flagged.
+func fanOut(xs []float64) float64 {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var sum float64
+	for _, x := range xs {
+		wg.Add(1)
+		go func() { // want "raw goroutine spawn outside internal/par"
+			defer wg.Done()
+			mu.Lock()
+			sum += x
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+// fireAndForget spawns a named function — also flagged.
+func fireAndForget() {
+	go background() // want "raw goroutine spawn outside internal/par"
+}
+
+// annotated documents why it needs a raw spawn — suppressed.
+func annotated(done chan struct{}) {
+	//lint:ignore rawgo signal-only goroutine, no shared numeric state
+	go func() { close(done) }()
+}
+
+func background() {}
+
+// serial has loops but no goroutines — exempt.
+func serial(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -99,7 +99,10 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	if err != nil {
 		return nil, nil, err
 	}
-	dstar := sampling.GenerateCtx(ctx, f, domains, base.NumSamples, base.Seed+2)
+	dstar, err := sampling.GenerateCtx(ctx, f, domains, base.NumSamples, base.Seed+2)
+	if err != nil {
+		return nil, nil, err
+	}
 	train, test := dstar.Split(base.TestFraction, base.Seed+3)
 
 	var pairs []featsel.Pair

@@ -167,7 +167,10 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	if err != nil {
 		return nil, err
 	}
-	dstar := sampling.GenerateCtx(ctx, f, domains, cfg.NumSamples, cfg.Seed+2)
+	dstar, err := sampling.GenerateCtx(ctx, f, domains, cfg.NumSamples, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
 	train, test := dstar.Split(cfg.TestFraction, cfg.Seed+3)
 
 	// §3.4 — interaction selection F″ (independent of D*, except H-Stat

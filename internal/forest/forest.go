@@ -13,9 +13,12 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"gef/internal/par"
 )
 
 // Objective identifies how raw forest scores map to predictions.
@@ -132,21 +135,30 @@ func (f *Forest) Predict(x []float64) float64 {
 	return raw
 }
 
-// PredictBatch evaluates Predict on every row of xs.
+// PredictBatch evaluates Predict on every row of xs, in parallel over
+// fixed row chunks (each row writes its own output slot, so results are
+// identical at any worker count).
 func (f *Forest) PredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = f.Predict(x)
-	}
+	//lint:ignore errdrop background context cannot be canceled
+	_ = par.For(context.Background(), len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(xs[i])
+		}
+	})
 	return out
 }
 
-// RawPredictBatch evaluates RawPredict on every row of xs.
+// RawPredictBatch evaluates RawPredict on every row of xs, in parallel
+// like PredictBatch.
 func (f *Forest) RawPredictBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = f.RawPredict(x)
-	}
+	//lint:ignore errdrop background context cannot be canceled
+	_ = par.For(context.Background(), len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.RawPredict(xs[i])
+		}
+	})
 	return out
 }
 

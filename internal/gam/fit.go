@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"gef/internal/linalg"
 	"gef/internal/obs"
+	"gef/internal/par"
 )
 
 // Metrics instruments (hoisted; see internal/obs).
@@ -114,47 +116,97 @@ func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Opt
 	return m, nil
 }
 
-// accumulateNormal builds XᵀWX (upper triangle) and XᵀWz from the cached
-// rows with per-row weights w and responses z (pass w = nil for unit
-// weights). It returns XᵀWX symmetrized, XᵀWz and zᵀWz.
-func accumulateNormal(d *design, w, z []float64) (xtx *linalg.Matrix, xtz []float64, ztz float64) {
-	xtx = linalg.NewMatrix(d.p, d.p)
-	xtz = make([]float64, d.p)
-	data := xtx.Data
-	p := d.p
-	for i := 0; i < d.n; i++ {
-		idx, val := d.row(i)
-		wi := 1.0
-		if w != nil {
-			wi = w[i]
-		}
-		zi := z[i]
-		ztz += wi * zi * zi
-		wzi := wi * zi
-		for a, ja := range idx {
-			va := val[a]
-			wva := wi * va
-			xtz[ja] += wzi * va
-			rowBase := int(ja) * p
-			for b := a; b < len(idx); b++ {
-				jb := idx[b]
-				if jb >= ja {
-					data[rowBase+int(jb)] += wva * val[b]
-				} else {
-					data[int(jb)*p+int(ja)] += wva * val[b]
-				}
-			}
-		}
-	}
-	xtx.SymmetrizeFromUpper()
-	return xtx, xtz, ztz
+// normalChunks is the fixed shard count for XᵀWX accumulation. Each
+// shard carries a p×p partial matrix, so the count is kept well below
+// par.DefaultChunks; it must stay a constant (never derived from the
+// worker count) because shard boundaries fix the summation order.
+const normalChunks = 8
+
+// normalEq is one shard's partial normal-equation state.
+type normalEq struct {
+	xtx *linalg.Matrix
+	xtz []float64
+	ztz float64
 }
 
-// penalizedSystem returns XᵀWX + λS with the stabilizing ridge applied to
-// non-intercept diagonal entries.
-func penalizedSystem(xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
-	a := xtx.Clone()
-	a.AddScaled(lambda, s)
+// accumulateNormal builds XᵀWX (upper triangle) and XᵀWz from the cached
+// rows with per-row weights w and responses z (pass w = nil for unit
+// weights). Rows are sharded into normalChunks fixed row ranges whose
+// partial matrices are summed in shard order, so the result is bitwise
+// identical at any worker count. It returns XᵀWX symmetrized, XᵀWz and
+// zᵀWz, or ctx.Err() on cancellation.
+func accumulateNormal(ctx context.Context, d *design, w, z []float64) (*linalg.Matrix, []float64, float64, error) {
+	p := d.p
+	acc, err := par.MapReduce(ctx, d.n, normalChunks,
+		func(_, lo, hi int) normalEq {
+			eq := normalEq{xtx: linalg.NewMatrix(p, p), xtz: make([]float64, p)}
+			data := eq.xtx.Data
+			for i := lo; i < hi; i++ {
+				idx, val := d.row(i)
+				wi := 1.0
+				if w != nil {
+					wi = w[i]
+				}
+				zi := z[i]
+				eq.ztz += wi * zi * zi
+				wzi := wi * zi
+				for a, ja := range idx {
+					va := val[a]
+					wva := wi * va
+					eq.xtz[ja] += wzi * va
+					rowBase := int(ja) * p
+					for b := a; b < len(idx); b++ {
+						jb := idx[b]
+						if jb >= ja {
+							data[rowBase+int(jb)] += wva * val[b]
+						} else {
+							data[int(jb)*p+int(ja)] += wva * val[b]
+						}
+					}
+				}
+			}
+			return eq
+		},
+		func(a, b normalEq) normalEq {
+			a.xtx.AddScaled(1, b.xtx)
+			for j := range a.xtz {
+				a.xtz[j] += b.xtz[j]
+			}
+			a.ztz += b.ztz
+			return a
+		})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	acc.xtx.SymmetrizeFromUpper()
+	return acc.xtx, acc.xtz, acc.ztz, nil
+}
+
+// systemPool recycles the scratch matrices holding XᵀWX + λS between
+// λ-grid evaluations (the λ loop used to Clone() the full p×p matrix
+// per grid point). FactorizeSPD copies its input into the Cholesky's
+// own storage, so a scratch matrix can be reused — or returned to the
+// pool — the moment factorization returns.
+type systemPool struct {
+	pool sync.Pool
+	p    int
+}
+
+func newSystemPool(p int) *systemPool {
+	sp := &systemPool{p: p}
+	sp.pool.New = func() any { return linalg.NewMatrix(p, p) }
+	return sp
+}
+
+func (sp *systemPool) get() *linalg.Matrix  { return sp.pool.Get().(*linalg.Matrix) }
+func (sp *systemPool) put(m *linalg.Matrix) { sp.pool.Put(m) }
+
+// penalizedSystemInto overwrites dst with XᵀWX + λS plus the stabilizing
+// ridge on non-intercept diagonal entries, and returns dst. Every entry
+// of dst is written, so stale scratch contents cannot leak through.
+func penalizedSystemInto(dst, xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
+	copy(dst.Data, xtx.Data)
+	dst.AddScaled(lambda, s)
 	var meanDiag float64
 	for i := 0; i < xtx.Rows; i++ {
 		meanDiag += xtx.At(i, i)
@@ -164,30 +216,50 @@ func penalizedSystem(xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
 		meanDiag = 1
 	}
 	r := ridgeScale * meanDiag
-	for i := 1; i < a.Rows; i++ {
-		a.Add(i, i, r)
+	for i := 1; i < dst.Rows; i++ {
+		dst.Add(i, i, r)
 	}
-	return a
+	return dst
+}
+
+// gcvResult is the outcome of one λ-grid evaluation, computed in
+// parallel and selected over serially in grid order.
+type gcvResult struct {
+	ok   bool
+	skip string // reason when !ok
+	gcv  float64
+	edf  float64
+	rss  float64
+	beta []float64
+	chol *linalg.Cholesky
 }
 
 func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
-	_, asp := obs.Start(ctx, "gam.normal_equations", obs.Int("rows", d.n), obs.Int("cols", d.p))
-	xtx, xty, yty := accumulateNormal(d, nil, y)
+	_, asp := obs.Start(ctx, "gam.normal_equations", obs.Int("rows", d.n),
+		obs.Int("cols", d.p), obs.Int("workers", par.Workers()))
+	xtx, xty, yty, err := accumulateNormal(ctx, d, nil, y)
 	asp.End()
+	if err != nil {
+		return nil, err
+	}
 	n := float64(d.n)
 
-	best := FitReport{GCV: math.Inf(1)}
-	var bestBeta []float64
-	var bestChol *linalg.Cholesky
-	for _, lambda := range opt.Lambdas {
-		_, lsp := obs.Start(ctx, "gam.gcv", obs.F64("lambda", lambda))
+	// Every λ on the grid is an independent Cholesky solve against the
+	// same sufficient statistics, so the grid is evaluated in parallel
+	// (one chunk per λ) into a results slice; span events, the GCV trace
+	// and the best-λ selection happen serially afterwards, in grid
+	// order, so traces and tie-breaking are deterministic.
+	sysPool := newSystemPool(d.p)
+	results := make([]gcvResult, len(opt.Lambdas))
+	gridErr := par.For(ctx, len(opt.Lambdas), len(opt.Lambdas), func(g, _, _ int) {
 		mGCVEvals.Inc()
-		a := penalizedSystem(xtx, s, lambda)
-		ch, err := linalg.FactorizeSPD(a)
-		if err != nil {
-			lsp.Set(obs.Str("skip", "factorization failed"))
-			lsp.End()
-			continue // skip numerically hopeless λ
+		a := sysPool.get()
+		penalizedSystemInto(a, xtx, s, opt.Lambdas[g])
+		ch, ferr := linalg.FactorizeSPD(a)
+		sysPool.put(a) // FactorizeSPD copied a; safe to recycle now
+		if ferr != nil {
+			results[g] = gcvResult{skip: "factorization failed"}
+			return // skip numerically hopeless λ
 		}
 		beta := ch.Solve(xty)
 		edf := ch.TraceSolve(xtx)
@@ -197,22 +269,42 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 		}
 		denom := n - edf
 		if denom <= 0 {
-			lsp.Set(obs.Str("skip", "edf exceeds n"))
-			lsp.End()
+			results[g] = gcvResult{skip: "edf exceeds n"}
+			return
+		}
+		results[g] = gcvResult{
+			ok:   true,
+			gcv:  n * rss / (denom * denom),
+			edf:  edf,
+			rss:  rss,
+			beta: beta,
+			chol: ch,
+		}
+	})
+	if gridErr != nil {
+		return nil, gridErr
+	}
+
+	sp := obs.FromContext(ctx)
+	best := FitReport{GCV: math.Inf(1)}
+	var bestBeta []float64
+	var bestChol *linalg.Cholesky
+	for g, lambda := range opt.Lambdas {
+		r := results[g]
+		if !r.ok {
+			sp.Event("gam.gcv", obs.F64("lambda", lambda), obs.Str("skip", r.skip))
 			continue
 		}
-		gcv := n * rss / (denom * denom)
-		lsp.Set(obs.F64("gcv", gcv), obs.F64("edf", edf))
-		lsp.End()
+		sp.Event("gam.gcv", obs.F64("lambda", lambda), obs.F64("gcv", r.gcv), obs.F64("edf", r.edf))
 		best.Lambdas = append(best.Lambdas, lambda)
-		best.GCVs = append(best.GCVs, gcv)
-		if gcv < best.GCV {
-			best.GCV = gcv
+		best.GCVs = append(best.GCVs, r.gcv)
+		if r.gcv < best.GCV {
+			best.GCV = r.gcv
 			best.Lambda = lambda
-			best.EDF = edf
-			best.Scale = rss / denom
-			bestBeta = beta
-			bestChol = ch
+			best.EDF = r.edf
+			best.Scale = r.rss / (n - r.edf)
+			bestBeta = r.beta
+			bestChol = r.chol
 		}
 	}
 	if bestBeta == nil {
@@ -244,8 +336,13 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 	eta := make([]float64, d.n)
 	w := make([]float64, d.n)
 	z := make([]float64, d.n)
+	// The λ loop itself stays serial (each grid point is a full P-IRLS
+	// run; the parallelism lives inside the iteration's row loops), so a
+	// single scratch matrix serves every λ and every iteration.
+	scratch := linalg.NewMatrix(d.p, d.p)
 	for _, lambda := range opt.Lambdas {
-		_, lsp := obs.Start(ctx, "gam.gcv", obs.F64("lambda", lambda))
+		_, lsp := obs.Start(ctx, "gam.gcv", obs.F64("lambda", lambda),
+			obs.Int("workers", par.Workers()))
 		mGCVEvals.Inc()
 		// Warm-startable P-IRLS; initialize from the data each time for
 		// reproducibility across grids.
@@ -260,22 +357,33 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		iters := 0
 		for it := 0; it < opt.MaxIRLS; it++ {
 			iters = it + 1
-			for i := range eta {
-				mu := sigmoid(eta[i])
-				// Clamp fitted probabilities away from 0/1 so the working
-				// weights stay bounded and extreme rows cannot dominate
-				// the working RSS.
-				if mu < 1e-5 {
-					mu = 1e-5
-				} else if mu > 1-1e-5 {
-					mu = 1 - 1e-5
+			// Reweighting writes disjoint rows of w/z — parallel over
+			// fixed row chunks.
+			if err := par.For(ctx, d.n, 0, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					mu := sigmoid(eta[i])
+					// Clamp fitted probabilities away from 0/1 so the working
+					// weights stay bounded and extreme rows cannot dominate
+					// the working RSS.
+					if mu < 1e-5 {
+						mu = 1e-5
+					} else if mu > 1-1e-5 {
+						mu = 1 - 1e-5
+					}
+					wi := mu * (1 - mu)
+					w[i] = wi
+					z[i] = eta[i] + (y[i]-mu)/wi
 				}
-				wi := mu * (1 - mu)
-				w[i] = wi
-				z[i] = eta[i] + (y[i]-mu)/wi
+			}); err != nil {
+				lsp.End()
+				return nil, err
 			}
-			xtwx, xtwz, _ := accumulateNormal(d, w, z)
-			a := penalizedSystem(xtwx, s, lambda)
+			xtwx, xtwz, _, accErr := accumulateNormal(ctx, d, w, z)
+			if accErr != nil {
+				lsp.End()
+				return nil, accErr
+			}
+			a := penalizedSystemInto(scratch, xtwx, s, lambda)
 			var err error
 			ch, err = linalg.FactorizeSPD(a)
 			if err != nil {
@@ -283,10 +391,21 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 				break
 			}
 			beta = ch.Solve(xtwz)
-			dev := 0.0
-			for i := range eta {
-				eta[i] = d.rowDot(i, beta)
-				dev += binomialDeviance(y[i], sigmoid(eta[i]))
+			// The linear predictor update writes disjoint eta rows; the
+			// deviance folds per-chunk sums in chunk order (bitwise-stable).
+			dev, devErr := par.MapReduce(ctx, d.n, 0,
+				func(_, lo, hi int) float64 {
+					var chunkDev float64
+					for i := lo; i < hi; i++ {
+						eta[i] = d.rowDot(i, beta)
+						chunkDev += binomialDeviance(y[i], sigmoid(eta[i]))
+					}
+					return chunkDev
+				},
+				func(a, b float64) float64 { return a + b })
+			if devErr != nil {
+				lsp.End()
+				return nil, devErr
 			}
 			lastDelta = math.Abs(prevDev - dev)
 			if lastDelta < opt.Tol*(math.Abs(dev)+1) {

@@ -8,6 +8,7 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 	"gef/internal/stats"
 )
 
@@ -32,16 +33,20 @@ type GridResult struct {
 // It returns the winning configuration and all per-configuration results
 // sorted in evaluation order.
 func GridSearchCV(ds *dataset.Dataset, base Params, grid Grid, k int, seed int64) (Params, []GridResult, error) {
+	return GridSearchCVCtx(context.Background(), ds, base, grid, k, seed)
+}
+
+// GridSearchCVCtx is GridSearchCV with context propagation. The full
+// config×fold task matrix is evaluated in parallel — every task is an
+// independent training run whose RNG streams derive only from (seed,
+// fold), so results are identical at any worker count. Error reporting
+// and best-config selection scan the matrix serially in evaluation
+// order, preserving the serial tie-break (first config wins).
+func GridSearchCVCtx(ctx context.Context, ds *dataset.Dataset, base Params, grid Grid, k int, seed int64) (Params, []GridResult, error) {
 	if len(grid.NumTrees) == 0 || len(grid.NumLeaves) == 0 || len(grid.LearningRates) == 0 {
 		return Params{}, nil, fmt.Errorf("gbdt: empty grid")
 	}
-	_, sp := obs.Start(context.Background(), "gbdt.grid_search_cv",
-		obs.Int("configs", len(grid.NumTrees)*len(grid.NumLeaves)*len(grid.LearningRates)),
-		obs.Int("folds", k))
-	defer sp.End()
-	folds := dataset.KFold(ds.NumRows(), k, seed)
-	var results []GridResult
-	best := -1
+	var configs []Params
 	for _, nt := range grid.NumTrees {
 		for _, nl := range grid.NumLeaves {
 			for _, lr := range grid.LearningRates {
@@ -49,43 +54,68 @@ func GridSearchCV(ds *dataset.Dataset, base Params, grid Grid, k int, seed int64
 				p.NumTrees = nt
 				p.NumLeaves = nl
 				p.LearningRate = lr
-				res, err := evalConfig(ds, folds, p, seed)
-				if err != nil {
-					return Params{}, nil, err
-				}
-				results = append(results, res)
-				if best < 0 || res.MeanLoss < results[best].MeanLoss {
-					best = len(results) - 1
-				}
+				configs = append(configs, p)
 			}
+		}
+	}
+	ctx, sp := obs.Start(ctx, "gbdt.grid_search_cv",
+		obs.Int("configs", len(configs)),
+		obs.Int("folds", k),
+		obs.Int("workers", par.Workers()))
+	defer sp.End()
+	folds := dataset.KFold(ds.NumRows(), k, seed)
+
+	// One task per (config, fold) pair; one chunk per task.
+	type taskResult struct {
+		loss float64
+		err  error
+	}
+	tasks := make([]taskResult, len(configs)*len(folds))
+	if err := par.For(ctx, len(tasks), len(tasks), func(t, _, _ int) {
+		cfg, fold := t/len(folds), t%len(folds)
+		loss, err := evalFold(ctx, ds, folds, fold, configs[cfg], seed)
+		tasks[t] = taskResult{loss: loss, err: err}
+	}); err != nil {
+		return Params{}, nil, err
+	}
+
+	results := make([]GridResult, len(configs))
+	best := -1
+	for c, p := range configs {
+		res := GridResult{Params: p}
+		for i := range folds {
+			tr := tasks[c*len(folds)+i]
+			if tr.err != nil {
+				return Params{}, nil, tr.err
+			}
+			res.FoldLoss = append(res.FoldLoss, tr.loss)
+		}
+		res.MeanLoss = stats.Mean(res.FoldLoss)
+		if math.IsNaN(res.MeanLoss) {
+			return Params{}, nil, fmt.Errorf("gbdt: NaN loss for params %+v", p)
+		}
+		results[c] = res
+		if best < 0 || res.MeanLoss < results[best].MeanLoss {
+			best = c
 		}
 	}
 	return results[best].Params, results, nil
 }
 
-func evalConfig(ds *dataset.Dataset, folds [][]int, p Params, seed int64) (GridResult, error) {
-	res := GridResult{Params: p}
-	for i := range folds {
-		trainIdx, testIdx := dataset.FoldSplit(folds, i)
-		trainAll := ds.Subset(trainIdx)
-		test := ds.Subset(testIdx)
-		// 25% of the fold-training data for early stopping.
-		tr, va := trainAll.Split(0.25, seed+int64(i))
-		f, _, err := TrainValid(tr, va, p)
-		if err != nil {
-			return res, fmt.Errorf("gbdt: fold %d: %w", i, err)
-		}
-		var l float64
-		if p.Objective == forest.BinaryLogistic {
-			l = stats.LogLoss(f.PredictBatch(test.X), test.Y)
-		} else {
-			l = stats.RMSE(f.PredictBatch(test.X), test.Y)
-		}
-		res.FoldLoss = append(res.FoldLoss, l)
+// evalFold trains one configuration on one fold and returns its
+// held-out loss.
+func evalFold(ctx context.Context, ds *dataset.Dataset, folds [][]int, i int, p Params, seed int64) (float64, error) {
+	trainIdx, testIdx := dataset.FoldSplit(folds, i)
+	trainAll := ds.Subset(trainIdx)
+	test := ds.Subset(testIdx)
+	// 25% of the fold-training data for early stopping.
+	tr, va := trainAll.Split(0.25, seed+int64(i))
+	f, _, err := TrainValidCtx(ctx, tr, va, p)
+	if err != nil {
+		return 0, fmt.Errorf("gbdt: fold %d: %w", i, err)
 	}
-	res.MeanLoss = stats.Mean(res.FoldLoss)
-	if math.IsNaN(res.MeanLoss) {
-		return res, fmt.Errorf("gbdt: NaN loss for params %+v", p)
+	if p.Objective == forest.BinaryLogistic {
+		return stats.LogLoss(f.PredictBatch(test.X), test.Y), nil
 	}
-	return res, nil
+	return stats.RMSE(f.PredictBatch(test.X), test.Y), nil
 }

@@ -8,6 +8,7 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 	"gef/internal/stats"
 )
 
@@ -85,10 +86,10 @@ func TrainRF(ds *dataset.Dataset, p RFParams) (*forest.Forest, error) {
 		obs.Int("rows", n),
 		obs.Int("features", numFeat),
 		obs.Int("num_trees", p.NumTrees),
-		obs.Int("num_leaves", p.NumLeaves))
+		obs.Int("num_leaves", p.NumLeaves),
+		obs.Int("workers", par.Workers()))
 	defer sp.End()
 	bd := binDataset(ds.X, numFeat, p.MaxBins)
-	rng := rand.New(rand.NewSource(p.Seed))
 
 	// With raw = 0 and squared loss, grad = −y, hess = 1, so the Newton
 	// leaf value −ΣG/ΣH is exactly the leaf's target mean and split gains
@@ -113,14 +114,21 @@ func TrainRF(ds *dataset.Dataset, p RFParams) (*forest.Forest, error) {
 		Objective:    forest.Regression,
 		FeatureNames: ds.FeatureNames,
 	}
-	for t := 0; t < p.NumTrees; t++ {
+	// Trees are fully independent given per-tree RNG streams derived
+	// from (Seed, t), so they grow in parallel into preassigned slots —
+	// the forest is identical at any worker count (and no longer depends
+	// on a shared sequential RNG).
+	f.Trees = make([]forest.Tree, p.NumTrees)
+	//lint:ignore errdrop background context cannot be canceled
+	_ = par.For(context.Background(), p.NumTrees, p.NumTrees, func(t, _, _ int) {
+		rng := rand.New(rand.NewSource(par.SplitSeed(p.Seed, 2*t)))
 		rows := make([]int, n)
 		for i := range rows {
 			rows[i] = rng.Intn(n) // bootstrap: with replacement
 		}
-		feats := sampleFeatures(rng, numFeat, p.FeatureFraction)
-		f.Trees = append(f.Trees, growTree(bd, grad, hess, rows, feats, gp))
-	}
+		feats := sampleFeatures(par.SplitSeed(p.Seed, 2*t+1), numFeat, p.FeatureFraction)
+		f.Trees[t] = growTree(bd, grad, hess, rows, feats, gp)
+	})
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gbdt: produced invalid RF: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 	"gef/internal/stats"
 )
 
@@ -145,10 +146,10 @@ func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params)
 		obs.Int("features", numFeat),
 		obs.Int("num_trees", p.NumTrees),
 		obs.Int("num_leaves", p.NumLeaves),
-		obs.Str("objective", string(p.Objective)))
+		obs.Str("objective", string(p.Objective)),
+		obs.Int("workers", par.Workers()))
 	defer sp.End()
 	bd := binDataset(train.X, numFeat, p.MaxBins)
-	rng := rand.New(rand.NewSource(p.Seed))
 
 	base := baseScore(train.Y, p.Objective)
 	f := &forest.Forest{
@@ -192,16 +193,23 @@ func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params)
 	rep := &Report{BestIteration: -1}
 	bestValid := math.Inf(1)
 	for iter := 0; iter < p.NumTrees; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		iterStart := time.Now()
 		computeGradients(p.Objective, raw, train.Y, grad, hess)
 
+		// Row/column subsampling draws from per-iteration RNG streams
+		// derived by par.SplitSeed, so iteration i's draws are a pure
+		// function of (Seed, i): no draw in one iteration can shift
+		// another's sequence, whatever order or parallelism they run in.
 		rows := allRows
 		if p.BaggingFraction < 1 {
-			rows = sampleRows(rng, n, p.BaggingFraction)
+			rows = sampleRows(par.SplitSeed(p.Seed, 2*iter), n, p.BaggingFraction)
 		}
 		feats := allFeatures
 		if p.FeatureFraction < 1 {
-			feats = sampleFeatures(rng, numFeat, p.FeatureFraction)
+			feats = sampleFeatures(par.SplitSeed(p.Seed, 2*iter+1), numFeat, p.FeatureFraction)
 		}
 
 		growStart := time.Now()
@@ -210,14 +218,23 @@ func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params)
 		mTreesGrown.Inc()
 		f.Trees = append(f.Trees, tree)
 
-		// Incremental raw-score update on train and valid.
-		for i := range raw {
-			raw[i] += tree.Predict(train.X[i])
+		// Incremental raw-score update on train and valid: disjoint
+		// per-row writes, parallel over fixed row chunks.
+		if err := par.For(ctx, n, 0, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				raw[i] += tree.Predict(train.X[i])
+			}
+		}); err != nil {
+			return nil, nil, err
 		}
 		rep.TrainLoss = append(rep.TrainLoss, loss(p.Objective, raw, train.Y))
 		if valid != nil {
-			for i := range rawValid {
-				rawValid[i] += tree.Predict(valid.X[i])
+			if err := par.For(ctx, len(rawValid), 0, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rawValid[i] += tree.Predict(valid.X[i])
+				}
+			}); err != nil {
+				return nil, nil, err
 			}
 			vl := loss(p.Objective, rawValid, valid.Y)
 			rep.ValidLoss = append(rep.ValidLoss, vl)
@@ -299,18 +316,24 @@ func loss(obj forest.Objective, raw, y []float64) float64 {
 	return stats.RMSE(raw, y)
 }
 
-func sampleRows(rng *rand.Rand, n int, frac float64) []int {
+// sampleRows and sampleFeatures each seed their own rand.Rand from the
+// caller-derived stream seed (see par.SplitSeed), so every call is a
+// self-contained deterministic draw.
+
+func sampleRows(seed int64, n int, frac float64) []int {
 	k := int(float64(n) * frac)
 	if k < 1 {
 		k = 1
 	}
+	rng := rand.New(rand.NewSource(seed))
 	return rng.Perm(n)[:k]
 }
 
-func sampleFeatures(rng *rand.Rand, n int, frac float64) []int {
+func sampleFeatures(seed int64, n int, frac float64) []int {
 	k := int(math.Ceil(float64(n) * frac))
 	if k < 1 {
 		k = 1
 	}
+	rng := rand.New(rand.NewSource(seed))
 	return rng.Perm(n)[:k]
 }

@@ -1,9 +1,11 @@
 package gbdt
 
 import (
+	"context"
 	"math"
 
 	"gef/internal/forest"
+	"gef/internal/par"
 )
 
 // histBin accumulates gradient statistics for one (feature, bin) cell.
@@ -13,30 +15,44 @@ type histBin struct {
 }
 
 // histogram is a per-feature collection of histBin slices restricted to
-// the candidate features of one tree.
+// the candidate features of one tree. features keeps the candidate list
+// in its original order so accumulation can be chunked deterministically
+// (map iteration order would not be stable).
 type histogram struct {
-	bins map[int][]histBin // feature → per-bin stats
+	features []int
+	bins     map[int][]histBin // feature → per-bin stats
 }
 
 func newHistogram(bd *binnedData, features []int) *histogram {
-	h := &histogram{bins: make(map[int][]histBin, len(features))}
+	h := &histogram{
+		features: features,
+		bins:     make(map[int][]histBin, len(features)),
+	}
 	for _, f := range features {
 		h.bins[f] = make([]histBin, bd.features[f].numBins())
 	}
 	return h
 }
 
-// accumulate adds the gradient statistics of rows[start:end] to h.
+// accumulate adds the gradient statistics of the given rows to h,
+// in parallel over features: each feature's bin slice is written by
+// exactly one chunk, and within a feature rows are scanned in order, so
+// the result is bitwise identical to a serial scan.
 func (h *histogram) accumulate(bd *binnedData, rows []int, grad, hess []float64) {
-	for f, cells := range h.bins {
-		fb := bd.bins[f]
-		for _, r := range rows {
-			b := fb[r]
-			cells[b].g += grad[r]
-			cells[b].h += hess[r]
-			cells[b].c++
+	//lint:ignore errdrop background context cannot be canceled
+	_ = par.For(context.Background(), len(h.features), len(h.features), func(_, lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			f := h.features[fi]
+			cells := h.bins[f]
+			fb := bd.bins[f]
+			for _, r := range rows {
+				b := fb[r]
+				cells[b].g += grad[r]
+				cells[b].h += hess[r]
+				cells[b].c++
+			}
 		}
-	}
+	})
 }
 
 // subtractFrom computes h = parent − other in place over parent's storage

@@ -44,3 +44,50 @@ func WriteBenchReport(path, name string) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// StageSpeedup compares one pipeline stage's wall time between a
+// workers=1 run and a workers=N run of the same workload.
+type StageSpeedup struct {
+	Stage      string  `json:"stage"`
+	SerialMs   float64 `json:"serial_ms"`   // wall time at workers=1
+	ParallelMs float64 `json:"parallel_ms"` // wall time at workers=N
+	Speedup    float64 `json:"speedup"`     // serial / parallel
+}
+
+// SpeedupReport is the BENCH_par.json shape: the same workload run at
+// workers=1 and workers=N on the same host, with per-stage and total
+// wall-time ratios. Cores records the host's CPU count so a speedup of
+// ~1 on a 1-core machine reads as expected rather than as a regression.
+type SpeedupReport struct {
+	Name            string         `json:"name"`
+	Go              string         `json:"go"`
+	OS              string         `json:"os"`
+	Arch            string         `json:"arch"`
+	Cores           int            `json:"cores"`
+	WorkersSerial   int            `json:"workers_serial"`
+	WorkersParallel int            `json:"workers_parallel"`
+	TotalSerialMs   float64        `json:"total_serial_ms"`
+	TotalParallelMs float64        `json:"total_parallel_ms"`
+	TotalSpeedup    float64        `json:"total_speedup"`
+	Stages          []StageSpeedup `json:"stages,omitempty"`
+}
+
+// NewSpeedupReport stamps a report with the build/host environment.
+func NewSpeedupReport(name string) SpeedupReport {
+	return SpeedupReport{
+		Name:  name,
+		Go:    runtime.Version(),
+		OS:    runtime.GOOS,
+		Arch:  runtime.GOARCH,
+		Cores: runtime.NumCPU(),
+	}
+}
+
+// WriteSpeedupReport writes r to path as indented JSON.
+func WriteSpeedupReport(path string, r SpeedupReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -19,6 +19,7 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 	"gef/internal/stats"
 )
 
@@ -311,14 +312,22 @@ func (d *Domains) SampleRow(rng *rand.Rand) []float64 {
 // binary-logistic forests, raw scores otherwise). This is the complete
 // step (i) of the GEF framework.
 func Generate(f *forest.Forest, d *Domains, n int, seed int64) *dataset.Dataset {
-	return GenerateCtx(context.Background(), f, d, n, seed)
+	//lint:ignore errdrop background context cannot be canceled
+	ds, _ := GenerateCtx(context.Background(), f, d, n, seed)
+	return ds
 }
 
 // GenerateCtx is Generate under an obs span; every generated row costs
-// one forest evaluation, counted in sampling.forest_evals.
-func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed int64) *dataset.Dataset {
+// one forest evaluation, counted in sampling.forest_evals. Row sampling
+// draws from one sequential RNG stream (so D*'s inputs are identical
+// for a given seed regardless of parallelism); the forest labeling —
+// the expensive part, one full forest traversal per row — runs in
+// parallel over fixed row chunks with disjoint writes, hence
+// bit-identical at any worker count. Returns ctx.Err() if canceled.
+func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed int64) (*dataset.Dataset, error) {
 	_, sp := obs.Start(ctx, "sampling.generate",
-		obs.Int("rows", n), obs.Str("strategy", string(d.Strategy)))
+		obs.Int("rows", n), obs.Str("strategy", string(d.Strategy)),
+		obs.Int("workers", par.Workers()))
 	defer sp.End()
 	mRows.Add(int64(n))
 	mForestEvals.Add(int64(n))
@@ -334,9 +343,14 @@ func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed 
 		Task:         task,
 	}
 	for i := 0; i < n; i++ {
-		x := d.SampleRow(rng)
-		ds.X[i] = x
-		ds.Y[i] = f.Predict(x)
+		ds.X[i] = d.SampleRow(rng)
 	}
-	return ds
+	if err := par.For(ctx, n, 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ds.Y[i] = f.Predict(ds.X[i])
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return ds, nil
 }

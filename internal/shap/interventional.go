@@ -1,8 +1,11 @@
 package shap
 
 import (
+	"context"
+
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 )
 
 // Metrics instruments for the interventional variant, whose cost is
@@ -33,18 +36,37 @@ func InterventionalValues(f *forest.Forest, x []float64, background [][]float64)
 	if len(background) == 0 {
 		panic("shap: empty background sample")
 	}
-	phi = make([]float64, f.NumFeatures)
-	base = f.BaseScore
 	inv := 1 / float64(len(background))
-	visits := 0
-	for _, b := range background {
-		for ti := range f.Trees {
-			base += interventionalTree(&f.Trees[ti], x, b, phi, inv, &visits) * inv
-		}
+	// Background rows are independent: each chunk accumulates its own φ
+	// vector, base contribution and visit count, folded in chunk order.
+	type partial struct {
+		phi    []float64
+		base   float64
+		visits int
 	}
+	//lint:ignore errdrop background context cannot be canceled
+	acc, _ := par.MapReduce(context.Background(), len(background), 0,
+		func(_, lo, hi int) partial {
+			pt := partial{phi: make([]float64, f.NumFeatures)}
+			for r := lo; r < hi; r++ {
+				b := background[r]
+				for ti := range f.Trees {
+					pt.base += interventionalTree(&f.Trees[ti], x, b, pt.phi, inv, &pt.visits) * inv
+				}
+			}
+			return pt
+		},
+		func(a, b partial) partial {
+			for i := range a.phi {
+				a.phi[i] += b.phi[i]
+			}
+			a.base += b.base
+			a.visits += b.visits
+			return a
+		})
 	mIntInstances.Inc()
-	mIntNodeVisits.Add(int64(visits))
-	return phi, base
+	mIntNodeVisits.Add(int64(acc.visits))
+	return acc.phi, f.BaseScore + acc.base
 }
 
 // featState tracks whether x and b satisfy all constraints seen so far
@@ -151,11 +173,27 @@ func interventionalTree(t *forest.Tree, x, b []float64, phi []float64, w float64
 	return vEmpty
 }
 
+// factorials memoizes n! for every n representable in float64 (170! is
+// the overflow bound); the leaf loop above evaluates factorial three
+// times per reachable leaf, so the table lookup removes a multiply loop
+// from the innermost hot path.
+var factorials = func() [171]float64 {
+	var t [171]float64
+	t[0] = 1
+	for i := 1; i < len(t); i++ {
+		t[i] = t[i-1] * float64(i)
+	}
+	return t
+}()
+
 // factorial returns n! as float64 (paths are far shorter than the 170!
 // float64 overflow bound).
 func factorial(n int) float64 {
-	f := 1.0
-	for i := 2; i <= n; i++ {
+	if n < len(factorials) {
+		return factorials[n]
+	}
+	f := factorials[len(factorials)-1]
+	for i := len(factorials); i <= n; i++ {
 		f *= float64(i)
 	}
 	return f

@@ -13,6 +13,7 @@ import (
 
 	"gef/internal/forest"
 	"gef/internal/obs"
+	"gef/internal/par"
 )
 
 // Metrics instruments (hoisted; see internal/obs): per-instance tree-node
@@ -186,15 +187,33 @@ func TopAttributions(phi []float64, k int) []Attribution {
 // sample for every feature.
 func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
 	_, sp := obs.Start(context.Background(), "shap.global_importance",
-		obs.Int("sample", len(sample)), obs.Int("features", f.NumFeatures))
+		obs.Int("sample", len(sample)), obs.Int("features", f.NumFeatures),
+		obs.Int("workers", par.Workers()))
 	defer sp.End()
-	imp := make([]float64, f.NumFeatures)
-	for _, x := range sample {
-		phi, _ := Values(f, x)
-		for i, v := range phi {
-			imp[i] += math.Abs(v)
-		}
+	if len(sample) == 0 {
+		return make([]float64, f.NumFeatures)
 	}
+	// Per-instance TreeSHAP runs are independent: each chunk folds its
+	// rows into a partial |φ| sum, and the partials are combined in
+	// chunk order (bitwise-stable at any worker count).
+	//lint:ignore errdrop background context cannot be canceled
+	imp, _ := par.MapReduce(context.Background(), len(sample), 0,
+		func(_, lo, hi int) []float64 {
+			chunkImp := make([]float64, f.NumFeatures)
+			for r := lo; r < hi; r++ {
+				phi, _ := Values(f, sample[r])
+				for i, v := range phi {
+					chunkImp[i] += math.Abs(v)
+				}
+			}
+			return chunkImp
+		},
+		func(a, b []float64) []float64 {
+			for i := range a {
+				a[i] += b[i]
+			}
+			return a
+		})
 	for i := range imp {
 		imp[i] /= float64(len(sample))
 	}
@@ -206,14 +225,20 @@ func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
 // and 10b plot.
 func DependenceSeries(f *forest.Forest, sample [][]float64, j int) (xs, phis []float64) {
 	_, sp := obs.Start(context.Background(), "shap.dependence_series",
-		obs.Int("sample", len(sample)), obs.Int("feature", j))
+		obs.Int("sample", len(sample)), obs.Int("feature", j),
+		obs.Int("workers", par.Workers()))
 	defer sp.End()
 	xs = make([]float64, len(sample))
 	phis = make([]float64, len(sample))
-	for i, x := range sample {
-		phi, _ := Values(f, x)
-		xs[i] = x[j]
-		phis[i] = phi[j]
-	}
+	// Each row writes only its own output slots — parallel with no
+	// reduction needed.
+	//lint:ignore errdrop background context cannot be canceled
+	_ = par.For(context.Background(), len(sample), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			phi, _ := Values(f, sample[i])
+			xs[i] = sample[i][j]
+			phis[i] = phi[j]
+		}
+	})
 	return xs, phis
 }

@@ -1,0 +1,115 @@
+package gef
+
+// BENCH_par.json generator: the full GEF pipeline (forest training →
+// Explain → batch SHAP) run twice on the same fixtures — once with
+// workers=1 and once with workers=NumCPU — with per-stage wall times
+// aggregated from obs spans. Regenerate the checked-in report with:
+//
+//	BENCH_PAR_OUT=BENCH_par.json go test -run TestWriteParBench .
+//
+// The report records the host core count: on a multi-core host the
+// parallel run should show ≥ 2× total speedup at 4+ cores; on a 1-core
+// host a ratio of ~1× is the expected reading, not a regression.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gef/internal/dataset"
+	"gef/internal/gbdt"
+	"gef/internal/obs"
+	"gef/internal/par"
+	"gef/internal/shap"
+)
+
+// parBenchStages are the span names aggregated into BENCH_par.json —
+// the parallelized pipeline stages in execution order.
+var parBenchStages = []string{
+	"gbdt.train",
+	"sampling.generate",
+	"gam.fit",
+	"shap.global_importance",
+}
+
+// runParWorkload runs the benchmark workload at the given worker count
+// and returns per-span-name wall-time sums plus the total wall time.
+func runParWorkload(workers int) (map[string]time.Duration, time.Duration, error) {
+	par.SetWorkers(workers)
+	defer par.SetWorkers(0)
+	sink := obs.NewMemorySink()
+	obs.SetSink(sink)
+	defer obs.SetSink(nil)
+
+	start := time.Now()
+	ds := dataset.GPrime(4000, 0.1, 19)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 100, NumLeaves: 16, Seed: 1})
+	if err != nil {
+		return nil, 0, fmt.Errorf("training forest: %w", err)
+	}
+	if _, err := Explain(f, Config{
+		NumUnivariate: 5,
+		NumSamples:    8000,
+		Sampling:      SamplingConfig{Strategy: EquiSize, K: 100},
+		GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:          3,
+	}); err != nil {
+		return nil, 0, fmt.Errorf("explaining: %w", err)
+	}
+	shap.GlobalImportance(f, ds.X[:200])
+	total := time.Since(start)
+
+	walls := make(map[string]time.Duration)
+	for _, sp := range sink.Spans() {
+		walls[sp.Name] += sp.Wall
+	}
+	return walls, total, nil
+}
+
+// TestWriteParBench regenerates BENCH_par.json; it is gated behind
+// BENCH_PAR_OUT so regular test runs skip the double pipeline.
+func TestWriteParBench(t *testing.T) {
+	path := os.Getenv("BENCH_PAR_OUT")
+	if path == "" {
+		t.Skip("set BENCH_PAR_OUT=<path> to generate the workers=1 vs workers=NumCPU report")
+	}
+	ncpu := runtime.NumCPU()
+	serialWalls, serialTotal, err := runParWorkload(1)
+	if err != nil {
+		t.Fatalf("workers=1 run: %v", err)
+	}
+	parWalls, parTotal, err := runParWorkload(ncpu)
+	if err != nil {
+		t.Fatalf("workers=%d run: %v", ncpu, err)
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	ratio := func(s, p float64) float64 {
+		if p <= 0 {
+			return 0
+		}
+		return s / p
+	}
+	rep := obs.NewSpeedupReport("gef-par-bench")
+	rep.WorkersSerial = 1
+	rep.WorkersParallel = ncpu
+	rep.TotalSerialMs = ms(serialTotal)
+	rep.TotalParallelMs = ms(parTotal)
+	rep.TotalSpeedup = ratio(rep.TotalSerialMs, rep.TotalParallelMs)
+	for _, name := range parBenchStages {
+		s, p := ms(serialWalls[name]), ms(parWalls[name])
+		rep.Stages = append(rep.Stages, obs.StageSpeedup{
+			Stage:      name,
+			SerialMs:   s,
+			ParallelMs: p,
+			Speedup:    ratio(s, p),
+		})
+	}
+	if err := obs.WriteSpeedupReport(path, rep); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+	t.Logf("cores=%d total: %.0fms (workers=1) vs %.0fms (workers=%d) → %.2fx",
+		ncpu, rep.TotalSerialMs, rep.TotalParallelMs, ncpu, rep.TotalSpeedup)
+}

@@ -16,11 +16,12 @@ go run ./cmd/geflint -json ./...
 go test ./...
 
 # Race gate: every package whose sources (tests included) start
-# goroutines or touch sync/atomic primitives is re-run under the race
-# detector. The set is discovered by scanning, not hard-coded, so new
-# concurrent code is raced automatically.
+# goroutines, touch sync/atomic primitives, or import the internal/par
+# worker-pool runtime is re-run under the race detector. The set is
+# discovered by scanning, not hard-coded, so new concurrent (or newly
+# parallelized) code is raced automatically.
 race_pkgs=$(grep -rl --include='*.go' --exclude-dir=testdata \
-	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.' . |
+	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"' . |
 	xargs -r -n1 dirname | sort -u)
 if [ -n "${race_pkgs}" ]; then
 	# shellcheck disable=SC2086 # word splitting is the point
