@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"gef/internal/experiments"
 	"gef/internal/obs"
 	"gef/internal/par"
+	"gef/internal/robust"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 		out     = flag.String("out", "", "directory for CSV dumps (optional)")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
+		timeout = flag.Duration("timeout", 0, "abort the experiment run after this duration (0 = no deadline), e.g. 10m")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -69,6 +72,12 @@ func main() {
 	}
 	defer stopObs()
 	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	p.Ctx = ctx
 
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -86,7 +95,11 @@ func main() {
 		r, err := e.Run(p)
 		elapsed := sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			if err = robust.CtxErr(err); errors.Is(err, robust.ErrDeadline) {
+				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v (deadline hit — raise -timeout or use -scale quick)\n", id, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			}
 			os.Exit(1)
 		}
 		if err := r.Render(os.Stdout, *out); err != nil {

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"gef/internal/forest"
 	"gef/internal/gbdt"
 	"gef/internal/par"
+	"gef/internal/robust"
 	"gef/internal/stats"
 )
 
@@ -34,9 +37,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "forest.json", "output path for the serialized forest")
 		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
+		timeout = flag.Duration("timeout", 0, "abort training after this duration (0 = no deadline), e.g. 90s or 5m")
 	)
 	flag.Parse()
 	par.SetWorkers(*workers)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	ds, err := loadData(*data, *task, *gen, *rows, *seed)
 	if err != nil {
@@ -52,9 +63,13 @@ func main() {
 	if ds.Task == dataset.Classification {
 		params.Objective = forest.BinaryLogistic
 	}
-	f, rep, err := gbdt.TrainValid(train, valid, params)
+	f, rep, err := gbdt.TrainValidCtx(ctx, train, valid, params)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "forestgen: training: %v\n", err)
+		if err = robust.CtxErr(err); errors.Is(err, robust.ErrDeadline) {
+			fmt.Fprintf(os.Stderr, "forestgen: training: %v (deadline hit — raise -timeout or lower -trees)\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "forestgen: training: %v\n", err)
+		}
 		os.Exit(1)
 	}
 	if err := forest.SaveFile(f, *out); err != nil {

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"gef/internal/obs"
 	"gef/internal/par"
 	"gef/internal/plot"
+	"gef/internal/robust"
 	"gef/internal/sampling"
 )
 
@@ -51,6 +53,7 @@ func main() {
 		doDistill    = flag.Bool("distill", false, "also distill a single-tree surrogate and print its rules")
 		saveModel    = flag.String("save-model", "", "write the fitted GAM to this JSON file")
 		workers      = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
+		timeout      = flag.Duration("timeout", 0, "abort the pipeline after this duration (0 = no deadline), e.g. 90s or 5m")
 	)
 	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
@@ -68,7 +71,22 @@ func main() {
 	}
 	defer stopObs()
 	ctx := context.Background()
-	f, err := forest.LoadFile(*forestPath)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Loading retries transient filesystem failures with capped backoff;
+	// a structurally invalid forest (ErrDegenerate) fails immediately.
+	var f *forest.Forest
+	err = robust.Retry(ctx, robust.RetryPolicy{}, func(int) error {
+		var lerr error
+		f, lerr = forest.LoadFile(*forestPath)
+		if lerr != nil && errors.Is(lerr, os.ErrNotExist) {
+			return robust.Permanent(lerr)
+		}
+		return lerr
+	})
 	if err != nil {
 		fatal("loading forest: %v", err)
 	}
@@ -88,7 +106,7 @@ func main() {
 		var trace []core.AutoStep
 		e, trace, err = core.AutoExplainCtx(ctx, f, core.AutoConfig{Base: cfg, MaxUnivariate: *splines})
 		if err != nil {
-			fatal("auto-explaining: %v", err)
+			fatalTyped("auto-explaining", err)
 		}
 		fmt.Println("\nauto component search:")
 		for _, s := range trace {
@@ -102,12 +120,18 @@ func main() {
 	} else {
 		e, err = core.ExplainCtx(ctx, f, cfg)
 		if err != nil {
-			fatal("explaining: %v", err)
+			fatalTyped("explaining", err)
 		}
 	}
 
 	fmt.Printf("\nGEF explanation — |F'| = %d, |F''| = %d, strategy %s\n",
 		len(e.Features), len(e.Pairs), *strategy)
+	if len(e.Degradations) > 0 {
+		fmt.Printf("WARNING: the explanation was degraded %d time(s) to survive failures:\n", len(e.Degradations))
+		for _, d := range e.Degradations {
+			fmt.Printf("  - %s: %s\n", d, d.Reason)
+		}
+	}
 	fmt.Printf("fidelity on held-out D*: RMSE %.4f, R² %.4f\n", e.Fidelity.RMSE, e.Fidelity.R2)
 	fmt.Printf("GAM: λ = %.4g, edf = %.1f, intercept = %.4f\n\n",
 		e.Model.Report().Lambda, e.Model.Report().EDF, e.Model.Intercept())
@@ -214,4 +238,21 @@ func linspace(lo, hi float64, n int) []float64 {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "gef: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// fatalTyped maps the robust error taxonomy to actionable CLI messages
+// before exiting.
+func fatalTyped(what string, err error) {
+	switch {
+	case errors.Is(err, robust.ErrDeadline):
+		fatal("%s: %v (deadline hit — raise -timeout or shrink -n/-k)", what, err)
+	case errors.Is(err, robust.ErrConfig):
+		fatal("%s: %v (fix the flag values and re-run)", what, err)
+	case errors.Is(err, robust.ErrDegenerate):
+		fatal("%s: %v (the forest cannot be explained as-is — check its thresholds and leaf values)", what, err)
+	case errors.Is(err, robust.ErrNumerical):
+		fatal("%s: %v (every recovery exhausted — try fewer splines or a smaller basis)", what, err)
+	default:
+		fatal("%s: %v", what, err)
+	}
 }

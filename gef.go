@@ -37,6 +37,7 @@ import (
 	"gef/internal/lime"
 	"gef/internal/obs"
 	"gef/internal/pdp"
+	"gef/internal/robust"
 	"gef/internal/sampling"
 	"gef/internal/shap"
 )
@@ -305,6 +306,30 @@ type LimeExplanation = lime.Explanation
 func ExplainLIME(predict func([]float64) float64, background [][]float64, x []float64, cfg LimeConfig) (*LimeExplanation, error) {
 	return lime.Explain(predict, background, x, cfg)
 }
+
+// --- Fault tolerance (internal/robust) -----------------------------------
+
+// Sentinel errors of the fault-tolerance taxonomy; match with errors.Is
+// at any call depth. See DESIGN.md "Fault tolerance & degradation
+// ladder" for the full contract.
+var (
+	// ErrDegenerate marks structurally unusable input (non-finite forest
+	// values, empty or collapsed sampling domains). Not retryable.
+	ErrDegenerate = robust.ErrDegenerate
+	// ErrNumerical marks a computation that failed numerically after all
+	// recovery (ridge escalation, step-halving, degradation ladder).
+	ErrNumerical = robust.ErrNumerical
+	// ErrDeadline marks a context deadline expiry; it always also matches
+	// context.DeadlineExceeded.
+	ErrDeadline = robust.ErrDeadline
+	// ErrConfig marks an invalid configuration knob (NaN, negative, out
+	// of domain) rejected by Config.Validate.
+	ErrConfig = robust.ErrConfig
+)
+
+// Degradation records one structural simplification the pipeline made to
+// keep producing a valid explanation (see Explanation.Degradations).
+type Degradation = robust.Degradation
 
 // --- Observability (internal/obs) ----------------------------------------
 

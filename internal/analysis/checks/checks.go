@@ -17,6 +17,7 @@ func All() []*analysis.Analyzer {
 		Detrand,
 		Errdrop,
 		Floatcmp,
+		Naninput,
 		Obsspan,
 		Rawgo,
 		Sliceret,

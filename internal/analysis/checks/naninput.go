@@ -1,0 +1,174 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// Naninput flags exported functions that feed a float parameter straight
+// into a domain-restricted math call (Log, Sqrt, ...) or use it as a
+// divisor without any finite/domain check in the body. Exported
+// functions are the trust boundary of each package: a NaN, ±Inf or
+// out-of-domain value entering math.Log or a division there does not
+// fail — it silently poisons every downstream GCV score, deviance and
+// fidelity number, which is exactly the failure mode the robust
+// degradation ladder exists to catch early. The fix is a guard
+// (math.IsNaN / math.IsInf or a range comparison) on the parameter
+// before the sink; deliberate pass-throughs are annotated with
+// //lint:ignore naninput <reason>.
+var Naninput = &analysis.Analyzer{
+	Name: "naninput",
+	Doc:  "flags exported funcs feeding unchecked float params into math.Log/Sqrt or divisions",
+	Run:  runNaninput,
+}
+
+// domainFuncs are math functions with a restricted domain where a NaN or
+// out-of-range input yields NaN instead of an error.
+var domainFuncs = map[string]bool{
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sqrt": true, "Asin": true, "Acos": true, "Acosh": true, "Atanh": true,
+}
+
+func runNaninput(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || isTestFile(pass, fd) {
+				continue
+			}
+			checkNaninputFunc(pass, fd)
+		}
+	}
+}
+
+func checkNaninputFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// The scalar float parameters of the exported function, by object.
+	params := make(map[types.Object]string)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.ObjectOf(name)
+			if obj != nil && isFloat(obj.Type()) {
+				params[obj] = name.Name
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+
+	// First pass: a parameter is considered checked when the body
+	// mentions it inside math.IsNaN / math.IsInf or as an operand of any
+	// comparison — both idioms establish its domain before use.
+	checked := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := mathCallee(pass, e); ok && (name == "IsNaN" || name == "IsInf") {
+				for _, arg := range e.Args {
+					markParams(pass, arg, params, checked)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				markParams(pass, e.X, params, checked)
+				markParams(pass, e.Y, params, checked)
+			}
+		}
+		return true
+	})
+
+	// Second pass: report unchecked parameters reaching a sink.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := mathCallee(pass, e); ok && domainFuncs[name] {
+				for _, arg := range e.Args {
+					if obj, pname := usedParam(pass, arg, params, checked); obj != nil {
+						pass.Reportf(arg.Pos(),
+							"exported func %s feeds float parameter %q into math.%s without a finite/domain check (math.IsNaN/IsInf or a range guard)",
+							fd.Name.Name, pname, name)
+						checked[obj] = true // one report per parameter
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.QUO && isFloat(pass.TypeOf(e)) {
+				if obj, pname := usedParam(pass, e.Y, params, checked); obj != nil {
+					pass.Reportf(e.Y.Pos(),
+						"exported func %s divides by float parameter %q without a finite/domain check (math.IsNaN/IsInf or a range guard)",
+						fd.Name.Name, pname)
+					checked[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.QUO_ASSIGN {
+				for _, rhs := range e.Rhs {
+					if obj, pname := usedParam(pass, rhs, params, checked); obj != nil {
+						pass.Reportf(rhs.Pos(),
+							"exported func %s divides by float parameter %q without a finite/domain check (math.IsNaN/IsInf or a range guard)",
+							fd.Name.Name, pname)
+						checked[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mathCallee returns the selector name of a math.<Name> call.
+func mathCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "math" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// markParams marks every parameter object referenced inside e as checked.
+func markParams(pass *analysis.Pass, e ast.Expr, params map[types.Object]string, checked map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				if _, isParam := params[obj]; isParam {
+					checked[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// usedParam returns the first unchecked parameter referenced inside e.
+func usedParam(pass *analysis.Pass, e ast.Expr, params map[types.Object]string, checked map[types.Object]bool) (types.Object, string) {
+	var found types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				if _, isParam := params[obj]; isParam && !checked[obj] {
+					found = obj
+				}
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return nil, ""
+	}
+	return found, params[found]
+}

@@ -1,0 +1,52 @@
+// Package naninput is golden-test input for the naninput analyzer.
+package naninput
+
+import "math"
+
+// LogLoss feeds p straight into math.Log — flagged.
+func LogLoss(p float64) float64 {
+	return -math.Log(p) // want "feeds float parameter .p. into math.Log"
+}
+
+// Normalize divides by total without any guard — flagged.
+func Normalize(x, total float64) float64 {
+	return x / total // want "divides by float parameter .total."
+}
+
+// Scale divides-assigns by f without any guard — flagged.
+func Scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] /= f // want "divides by float parameter .f."
+	}
+}
+
+// RootChecked guards v with IsNaN before the sink — exempt.
+func RootChecked(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// RateChecked range-guards the denominator — exempt.
+func RateChecked(n, d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return n / d
+}
+
+// unexported functions are not a trust boundary — exempt.
+func logRaw(p float64) float64 {
+	return math.Log(p)
+}
+
+// IntDiv divides by an integer parameter — exempt (no NaN to propagate).
+func IntDiv(n float64, k int) float64 {
+	return n / float64(k)
+}
+
+// Product has float params but no sink — exempt.
+func Product(a, b float64) float64 {
+	return a * b
+}

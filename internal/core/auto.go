@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"gef/internal/featsel"
 	"gef/internal/forest"
 	"gef/internal/gam"
 	"gef/internal/obs"
+	"gef/internal/robust"
 	"gef/internal/sampling"
 	"gef/internal/stats"
 )
@@ -97,11 +99,11 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	}
 	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, robust.CtxErr(err)
 	}
 	dstar, err := sampling.GenerateCtx(ctx, f, domains, base.NumSamples, base.Seed+2)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, robust.CtxErr(err)
 	}
 	train, test := dstar.Split(base.TestFraction, base.Seed+3)
 
@@ -117,7 +119,7 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 		}
 		pairs, err = featsel.RankInteractionsCtx(ctx, f, features, base.InteractionStrategy, sample)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, robust.CtxErr(err)
 		}
 	}
 
@@ -157,14 +159,22 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	var trace []AutoStep
 	bestModel, bestPairs, bestRMSE, err := fit(1, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, robust.CtxErr(err)
 	}
 	ns, ni := 1, 0
 	trace = append(trace, AutoStep{NumUnivariate: 1, RMSE: bestRMSE, Accepted: true})
 	for ns < len(features) {
 		m, sp, rmse, err := fit(ns+1, 0)
+		if errors.Is(err, robust.ErrNumerical) {
+			// A numerically unfittable candidate ends the search at the
+			// last accepted model instead of aborting: growing further
+			// would only make the system worse conditioned.
+			root.Event("auto.stopped", obs.Str("reason", err.Error()),
+				obs.Int("splines", ns+1))
+			break
+		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, robust.CtxErr(err)
 		}
 		improved := relImprovement(bestRMSE, rmse) >= cfg.Tolerance
 		trace = append(trace, AutoStep{NumUnivariate: ns + 1, RMSE: rmse, Accepted: improved})
@@ -175,8 +185,13 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	}
 	for ni < cfg.MaxInteractions && ns >= 2 {
 		m, sp, rmse, err := fit(ns, ni+1)
+		if errors.Is(err, robust.ErrNumerical) {
+			root.Event("auto.stopped", obs.Str("reason", err.Error()),
+				obs.Int("splines", ns), obs.Int("interactions", ni+1))
+			break
+		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, robust.CtxErr(err)
 		}
 		if len(sp) < ni+1 {
 			break // not enough candidate pairs within the selected features

@@ -8,13 +8,16 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"gef/internal/dataset"
 	"gef/internal/featsel"
 	"gef/internal/forest"
 	"gef/internal/gam"
 	"gef/internal/obs"
+	"gef/internal/robust"
 	"gef/internal/sampling"
 	"gef/internal/stats"
 )
@@ -94,6 +97,65 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// minBasis is the smallest usable B-spline basis (degree+1 for the cubic
+// splines gam builds) and the floor of the degradation ladder.
+const minBasis = 4
+
+// Validate rejects configurations with NaN, negative or otherwise
+// out-of-domain knobs. Every violation wraps robust.ErrConfig, so callers
+// can distinguish "bad configuration" from pipeline failures with
+// errors.Is. Explain validates the defaulted configuration automatically;
+// call Validate directly to pre-check analyst input.
+//
+//lint:ignore obsspan pure field checks over a handful of knobs; no work loop worth a span
+func (c Config) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("gef: "+format+": %w", append(args, robust.ErrConfig)...)
+	}
+	if c.NumUnivariate < 0 {
+		return fail("NumUnivariate = %d is negative", c.NumUnivariate)
+	}
+	if c.NumInteractions < 0 {
+		return fail("NumInteractions = %d is negative", c.NumInteractions)
+	}
+	if c.NumSamples < 0 {
+		return fail("NumSamples = %d is negative", c.NumSamples)
+	}
+	if math.IsNaN(c.TestFraction) || c.TestFraction < 0 || c.TestFraction >= 1 {
+		return fail("TestFraction = %v is outside [0, 1)", c.TestFraction)
+	}
+	if c.CategoricalThreshold < 0 {
+		return fail("CategoricalThreshold = %d is negative", c.CategoricalThreshold)
+	}
+	if c.SplineBasis != 0 && c.SplineBasis < minBasis {
+		return fail("SplineBasis = %d; cubic B-splines need at least %d", c.SplineBasis, minBasis)
+	}
+	if c.TensorBasis != 0 && c.TensorBasis < minBasis {
+		return fail("TensorBasis = %d; cubic B-splines need at least %d", c.TensorBasis, minBasis)
+	}
+	if c.HStatSample < 0 {
+		return fail("HStatSample = %d is negative", c.HStatSample)
+	}
+	if c.Sampling.K < 0 {
+		return fail("Sampling.K = %d is negative", c.Sampling.K)
+	}
+	if e := c.Sampling.Epsilon; math.IsNaN(e) || e < 0 {
+		return fail("Sampling.Epsilon = %v is not a non-negative number", e)
+	}
+	for i, l := range c.GAM.Lambdas {
+		if math.IsNaN(l) || l < 0 {
+			return fail("GAM.Lambdas[%d] = %v is not a non-negative number", i, l)
+		}
+	}
+	if t := c.GAM.Tol; math.IsNaN(t) || t < 0 {
+		return fail("GAM.Tol = %v is not a non-negative number", t)
+	}
+	if c.GAM.MaxIRLS < 0 {
+		return fail("GAM.MaxIRLS = %d is negative", c.GAM.MaxIRLS)
+	}
+	return nil
+}
+
 // Fidelity reports how faithfully the GAM mimics the forest on the
 // held-out fraction of D*.
 type Fidelity struct {
@@ -120,6 +182,12 @@ type Explanation struct {
 	Forest *forest.Forest
 	// Config echoes the (defaulted) configuration used.
 	Config Config
+	// Degradations lists every structural simplification the pipeline
+	// performed to survive degenerate inputs or numerical failures
+	// (empty for a clean run). A non-empty list means the explanation is
+	// valid but simpler than configured — inspect it before trusting
+	// per-term attributions.
+	Degradations []robust.Degradation
 }
 
 // Explain runs the full GEF pipeline on the forest.
@@ -133,29 +201,52 @@ func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
 // ranking and the GAM fit (with per-λ children) individually.
 func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// The pipeline owns a cancellable child context so the fault injector
+	// can exercise mid-stage cancellation (robust.SiteCancel) exactly the
+	// way an external caller would.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ctx, root := obs.Start(ctx, "gef.explain",
 		obs.Int("num_univariate", cfg.NumUnivariate),
 		obs.Int("num_interactions", cfg.NumInteractions),
 		obs.Int("num_samples", cfg.NumSamples),
 		obs.Str("sampling", string(cfg.Sampling.Strategy)))
 	defer root.End()
+	// checkpoint guards each stage boundary: injected cancellation fires
+	// here, and an already-dead context stops the pipeline with the typed
+	// taxonomy error instead of burning the remaining stages.
+	checkpoint := func(stage int) error {
+		if robust.Fire(robust.SiteCancel, stage, 0) {
+			cancel()
+		}
+		return robust.CtxErr(ctx.Err())
+	}
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gef: invalid forest: %w", err)
 	}
 
 	// §3.2 — univariate selection F′ by accumulated gain.
+	if err := checkpoint(0); err != nil {
+		return nil, err
+	}
 	_, sel := obs.Start(ctx, "featsel.top_features")
 	features := featsel.TopFeatures(f, cfg.NumUnivariate)
 	sel.Set(obs.Int("selected", len(features)))
 	sel.End()
 	if len(features) == 0 {
-		return nil, fmt.Errorf("gef: forest has no split nodes to explain")
+		return nil, fmt.Errorf("gef: forest has no split nodes to explain: %w", robust.ErrDegenerate)
 	}
 
 	// §3.3 — sampling domains and synthetic dataset D*. Features the GAM
 	// will model as factors (|V_i| < L) always use All-Thresholds
 	// domains: within a threshold cell the forest is constant, so extra
 	// domain points only inflate the factor level count.
+	if err := checkpoint(1); err != nil {
+		return nil, err
+	}
 	smp := cfg.Sampling
 	if smp.Seed == 0 {
 		smp.Seed = cfg.Seed + 1
@@ -163,18 +254,49 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	if smp.CategoricalThreshold == 0 {
 		smp.CategoricalThreshold = cfg.CategoricalThreshold
 	}
+	var degradations []robust.Degradation
 	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
-	if err != nil {
+	for err != nil {
+		// A feature whose threshold set is empty or collapsed is dropped
+		// from F′ (recording the degradation) and the domains are rebuilt
+		// with the survivors; any other failure aborts. The loop is
+		// bounded: every pass removes exactly one feature.
+		var fe *robust.FeatureError
+		if !errors.As(err, &fe) || !errors.Is(err, robust.ErrDegenerate) {
+			return nil, robust.CtxErr(err)
+		}
+		kept := features[:0]
+		for _, j := range features {
+			if j != fe.Feature {
+				kept = append(kept, j)
+			}
+		}
+		features = kept
+		if len(features) == 0 {
+			return nil, fmt.Errorf("gef: every selected feature has a degenerate sampling domain: %w", err)
+		}
+		robust.Record(ctx, &degradations, robust.Degradation{
+			Stage:  "sampling",
+			Action: robust.ActionDropFeature,
+			Reason: fe.Err.Error(),
+			Detail: fmt.Sprintf("feature %d dropped from F′", fe.Feature),
+		})
+		domains, err = sampling.BuildDomainsCtx(ctx, f, features, smp)
+	}
+	if err := checkpoint(2); err != nil {
 		return nil, err
 	}
 	dstar, err := sampling.GenerateCtx(ctx, f, domains, cfg.NumSamples, cfg.Seed+2)
 	if err != nil {
-		return nil, err
+		return nil, robust.CtxErr(err)
 	}
 	train, test := dstar.Split(cfg.TestFraction, cfg.Seed+3)
 
 	// §3.4 — interaction selection F″ (independent of D*, except H-Stat
 	// which needs a data sample).
+	if err := checkpoint(3); err != nil {
+		return nil, err
+	}
 	var pairs []featsel.Pair
 	if len(cfg.ForcedPairs) > 0 {
 		for _, p := range cfg.ForcedPairs {
@@ -183,7 +305,7 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 				a, b = b, a
 			}
 			if a == b || a < 0 || b >= f.NumFeatures {
-				return nil, fmt.Errorf("gef: invalid forced pair %v", p)
+				return nil, fmt.Errorf("gef: invalid forced pair %v: %w", p, robust.ErrConfig)
 			}
 			pairs = append(pairs, featsel.Pair{I: a, J: b})
 		}
@@ -198,29 +320,34 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 		}
 		pairs, err = featsel.TopPairsCtx(ctx, f, features, cfg.InteractionStrategy, sample, cfg.NumInteractions)
 		if err != nil {
-			return nil, err
+			return nil, robust.CtxErr(err)
 		}
 	}
 
-	// §3.5 — build the GAM spec and fit Γ on D*.
+	// §3.5 — build the GAM spec and fit Γ on D*, degrading structurally
+	// when the numerical recovery inside gam is exhausted.
+	if err := checkpoint(4); err != nil {
+		return nil, err
+	}
 	spec, err := buildSpec(f, features, pairs, cfg)
 	if err != nil {
 		return nil, err
 	}
-	model, err := gam.FitCtx(ctx, spec, train.X, train.Y, cfg.GAM)
+	model, err := fitLadder(ctx, spec, train, cfg.GAM, &degradations)
 	if err != nil {
 		return nil, fmt.Errorf("gef: fitting the explanation GAM: %w", err)
 	}
 
 	e := &Explanation{
-		Model:    model,
-		Features: features,
-		Pairs:    pairs,
-		Domains:  domains,
-		Train:    train,
-		Test:     test,
-		Forest:   f,
-		Config:   cfg,
+		Model:        model,
+		Features:     features,
+		Pairs:        pairs,
+		Domains:      domains,
+		Train:        train,
+		Test:         test,
+		Forest:       f,
+		Config:       cfg,
+		Degradations: degradations,
 	}
 	_, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(test.X)))
 	pred := model.PredictBatch(test.X)
@@ -232,6 +359,99 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	fsp.End()
 	root.Set(obs.F64("rmse", e.Fidelity.RMSE), obs.F64("r2", e.Fidelity.R2))
 	return e, nil
+}
+
+// fitLadder fits spec, walking the structural degradation ladder when
+// the fit fails numerically even after gam's in-stage recovery (ridge
+// escalation, step-halving): drop tensor terms → halve spline bases →
+// minimal-basis main-effects fit. Each rung is recorded in degradations;
+// deadline/cancellation and degenerate-input errors abort immediately —
+// a simpler model cannot repair those classes.
+func fitLadder(ctx context.Context, spec gam.Spec, train *dataset.Dataset, opt gam.Options, degradations *[]robust.Degradation) (*gam.Model, error) {
+	for {
+		model, err := gam.FitCtx(ctx, spec, train.X, train.Y, opt)
+		if err == nil {
+			return model, nil
+		}
+		if !errors.Is(err, robust.ErrNumerical) {
+			return nil, robust.CtxErr(err)
+		}
+		next, d, ok := degrade(spec)
+		if !ok {
+			return nil, fmt.Errorf("degradation ladder exhausted: %w", err)
+		}
+		d.Reason = err.Error()
+		robust.Record(ctx, degradations, d)
+		spec = next
+	}
+}
+
+// degrade returns the next-simpler GAM structure, or ok=false when spec
+// is already minimal. Factor terms are never touched: their size is
+// dictated by the forest's threshold count, not by a knob.
+func degrade(spec gam.Spec) (next gam.Spec, d robust.Degradation, ok bool) {
+	// Rung 1: drop the tensor interaction terms.
+	nTensor := 0
+	for _, t := range spec.Terms {
+		if t.Kind == gam.Tensor {
+			nTensor++
+		}
+	}
+	if nTensor > 0 {
+		out := gam.Spec{Link: spec.Link}
+		for _, t := range spec.Terms {
+			if t.Kind != gam.Tensor {
+				out.Terms = append(out.Terms, t)
+			}
+		}
+		return out, robust.Degradation{
+			Stage:  "gam",
+			Action: robust.ActionDropTensors,
+			Detail: fmt.Sprintf("%d tensor terms removed", nTensor),
+		}, true
+	}
+	// Rung 2: halve the spline bases (floored at minBasis).
+	maxB := 0
+	for _, t := range spec.Terms {
+		if t.Kind == gam.Spline && t.NumBasis > maxB {
+			maxB = t.NumBasis
+		}
+	}
+	clone := func() gam.Spec {
+		return gam.Spec{Link: spec.Link, Terms: append([]gam.TermSpec(nil), spec.Terms...)}
+	}
+	if maxB > 2*minBasis {
+		out := clone()
+		for i, t := range out.Terms {
+			if t.Kind == gam.Spline && t.NumBasis > minBasis {
+				if t.NumBasis /= 2; t.NumBasis < minBasis {
+					t.NumBasis = minBasis
+				}
+				out.Terms[i].NumBasis = t.NumBasis
+			}
+		}
+		return out, robust.Degradation{
+			Stage:  "gam",
+			Action: robust.ActionShrinkBases,
+			Detail: fmt.Sprintf("spline bases halved (max %d → %d)", maxB, maxB/2),
+		}, true
+	}
+	// Rung 3: the minimal main-effects fit — every spline at the smallest
+	// usable basis, no interactions (already gone after rung 1).
+	if maxB > minBasis {
+		out := clone()
+		for i, t := range out.Terms {
+			if t.Kind == gam.Spline {
+				out.Terms[i].NumBasis = minBasis
+			}
+		}
+		return out, robust.Degradation{
+			Stage:  "gam",
+			Action: robust.ActionMainEffects,
+			Detail: fmt.Sprintf("minimal main-effects fit (basis %d)", minBasis),
+		}, true
+	}
+	return spec, robust.Degradation{}, false
 }
 
 // buildSpec assembles the GAM structure: a spline term per selected

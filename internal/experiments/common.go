@@ -102,7 +102,7 @@ func gprimeForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset
 	key := fmt.Sprintf("gprime/%s/%d", p.Scale, p.Seed)
 	f, err := cachedForest(key, func() (*forest.Forest, error) {
 		tr, va := train.Split(0.25, p.Seed+102)
-		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+		f, _, err := gbdt.TrainValidCtx(p.Context(), tr, va, gbdt.Params{
 			NumTrees: z.synthTrees, NumLeaves: z.synthLeaves, LearningRate: z.synthLR,
 			EarlyStoppingRounds: 30, Seed: p.Seed,
 		})
@@ -116,7 +116,7 @@ func gdoubleForest(p Params, z sizes, pairs [][2]int, trees int) (*forest.Forest
 	ds := dataset.GDoublePrime(z.synthRows, 0.1, p.Seed+200, pairs)
 	train, test := ds.Split(0.2, p.Seed+201)
 	tr, va := train.Split(0.25, p.Seed+202)
-	f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+	f, _, err := gbdt.TrainValidCtx(p.Context(), tr, va, gbdt.Params{
 		NumTrees: trees, NumLeaves: z.synthLeaves, LearningRate: z.synthLR,
 		EarlyStoppingRounds: 30, Seed: p.Seed,
 	})
@@ -130,7 +130,7 @@ func superconForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *datas
 	key := fmt.Sprintf("supercon/%s/%d", p.Scale, p.Seed)
 	f, err := cachedForest(key, func() (*forest.Forest, error) {
 		tr, va := train.Split(0.25, p.Seed+302)
-		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+		f, _, err := gbdt.TrainValidCtx(p.Context(), tr, va, gbdt.Params{
 			NumTrees: z.superconTrees, NumLeaves: z.superconLeaves, LearningRate: 0.1,
 			EarlyStoppingRounds: 30, Seed: p.Seed,
 		})
@@ -161,7 +161,7 @@ func censusForest(p Params, z sizes) (*forest.Forest, *dataset.Dataset, *dataset
 	key := fmt.Sprintf("census/%s/%d", p.Scale, p.Seed)
 	f, err := cachedForest(key, func() (*forest.Forest, error) {
 		tr, va := train.Split(0.25, p.Seed+402)
-		f, _, err := gbdt.TrainValid(tr, va, gbdt.Params{
+		f, _, err := gbdt.TrainValidCtx(p.Context(), tr, va, gbdt.Params{
 			NumTrees: z.censusTrees, NumLeaves: 16, LearningRate: 0.1,
 			Objective:           forest.BinaryLogistic,
 			EarlyStoppingRounds: 30, Seed: p.Seed,

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -31,6 +32,18 @@ type Params struct {
 	Scale  Scale
 	Seed   int64
 	OutDir string // when non-empty, tables and series are also dumped as CSV
+	// Ctx carries the run's cancellation/deadline context; nil means
+	// context.Background(). Use Context() to read it.
+	Ctx context.Context
+}
+
+// Context returns the run's context, defaulting to Background so
+// experiments written before deadline support keep working unchanged.
+func (p Params) Context() context.Context {
+	if p.Ctx == nil {
+		return context.Background()
+	}
+	return p.Ctx
 }
 
 func (p Params) withDefaults() Params {

@@ -25,7 +25,7 @@ func RunExtraSurrogates(p Params) (*Report, error) {
 	}
 	r := &Report{ID: "extra-surrogates", Title: "Surrogate comparison: GEF GAM vs distilled tree"}
 
-	e, err := core.Explain(f, core.Config{
+	e, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 5,
 		NumSamples:    z.dstarN,
 		Sampling:      sampling.Config{Strategy: sampling.EquiSize, K: z.fig4K},
@@ -101,7 +101,7 @@ func RunExtraRandomForest(p Params) (*Report, error) {
 		return nil, err
 	}
 	_ = train
-	e, err := core.Explain(f, core.Config{
+	e, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 5,
 		NumSamples:    z.dstarN,
 		Sampling:      sampling.Config{Strategy: sampling.EquiSize, K: z.fig4K},

@@ -113,7 +113,7 @@ func RunFig8(p Params) (*Report, error) {
 	r := &Report{ID: "fig8", Title: "Superconductivity: RMSE vs K per sampling strategy"}
 	tab := Table{Name: "RMSE by strategy and K", Header: []string{"strategy", "K", "RMSE", "fidelity R²"}}
 
-	base, err := core.Explain(f, core.Config{
+	base, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 7, NumSamples: z.realDstarN,
 		Sampling: sampling.Config{Strategy: sampling.AllThresholds},
 		GAM:      gam.Options{Lambdas: z.lambdas},
@@ -127,7 +127,7 @@ func RunFig8(p Params) (*Report, error) {
 	for _, s := range []sampling.Strategy{sampling.KQuantile, sampling.EquiWidth, sampling.KMeans, sampling.EquiSize} {
 		var xs, ys []float64
 		for _, k := range z.fig8Ks {
-			e, err := core.Explain(f, core.Config{
+			e, err := core.ExplainCtx(p.Context(), f, core.Config{
 				NumUnivariate: 7, NumSamples: z.realDstarN,
 				Sampling: sampling.Config{Strategy: s, K: k},
 				GAM:      gam.Options{Lambdas: z.lambdas},
@@ -153,7 +153,7 @@ func superconExplanation(p Params, z sizes) (*core.Explanation, [][]float64, err
 	if err != nil {
 		return nil, nil, err
 	}
-	e, err := core.Explain(f, core.Config{
+	e, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 7, NumSamples: z.realDstarN,
 		Sampling: sampling.Config{Strategy: sampling.EquiSize, K: z.fig9K},
 		GAM:      gam.Options{Lambdas: z.lambdas},
@@ -245,7 +245,7 @@ func RunFig10(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Explain(f, core.Config{
+	e, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate:       5,
 		NumInteractions:     1,
 		InteractionStrategy: featsel.CountPath,

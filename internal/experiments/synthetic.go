@@ -120,7 +120,7 @@ func RunFig4(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Explain(f, core.Config{
+	e, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 5,
 		NumSamples:    z.dstarN,
 		Sampling:      sampling.Config{Strategy: sampling.EquiSize, K: z.fig4K},
@@ -186,7 +186,7 @@ func RunFig5(p Params) (*Report, error) {
 	tab := Table{Name: "RMSE by strategy and K", Header: []string{"strategy", "K", "RMSE", "fidelity R²"}}
 
 	// All-Thresholds is the K-independent baseline (one row).
-	base, err := core.Explain(f, core.Config{
+	base, err := core.ExplainCtx(p.Context(), f, core.Config{
 		NumUnivariate: 5, NumSamples: z.dstarN,
 		Sampling: sampling.Config{Strategy: sampling.AllThresholds},
 		GAM:      gam.Options{Lambdas: z.lambdas},
@@ -201,7 +201,7 @@ func RunFig5(p Params) (*Report, error) {
 	for _, s := range []sampling.Strategy{sampling.KQuantile, sampling.EquiWidth, sampling.KMeans, sampling.EquiSize} {
 		var xs, ys []float64
 		for _, k := range z.fig5Ks {
-			e, err := core.Explain(f, core.Config{
+			e, err := core.ExplainCtx(p.Context(), f, core.Config{
 				NumUnivariate: 5, NumSamples: z.dstarN,
 				Sampling: sampling.Config{Strategy: s, K: k},
 				GAM:      gam.Options{Lambdas: z.lambdas},
@@ -405,7 +405,7 @@ func RunTable2(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	e1, err := core.Explain(f1, core.Config{
+	e1, err := core.ExplainCtx(p.Context(), f1, core.Config{
 		NumUnivariate: 5, NumSamples: z.dstarN,
 		Sampling: sampling.Config{Strategy: sampling.EquiSize, K: z.table2K},
 		GAM:      gam.Options{Lambdas: z.lambdas},
@@ -425,7 +425,7 @@ func RunTable2(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	e2, err := core.Explain(f2, core.Config{
+	e2, err := core.ExplainCtx(p.Context(), f2, core.Config{
 		NumUnivariate: 5, NumSamples: z.dstarN,
 		Sampling:    sampling.Config{Strategy: sampling.EquiSize, K: z.table2K},
 		GAM:         gam.Options{Lambdas: z.lambdas},

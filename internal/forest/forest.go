@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"gef/internal/par"
+	"gef/internal/robust"
 )
 
 // Objective identifies how raw forest scores map to predictions.
@@ -265,8 +266,10 @@ func (f *Forest) SplitImportance() []int {
 
 // Validate checks structural invariants: child indices in range, no cycles
 // (each node reachable at most once from the root), every feature index
-// within NumFeatures, leaves consistent, and trees non-empty. It returns
-// the first violation found.
+// within NumFeatures, leaves consistent, trees non-empty, and every
+// threshold, gain and leaf value finite (non-finite values wrap
+// robust.ErrDegenerate — the pipeline cannot sample or fit through them).
+// It returns the first violation found.
 func (f *Forest) Validate() error {
 	if f.NumFeatures <= 0 {
 		return fmt.Errorf("forest: NumFeatures = %d, want > 0", f.NumFeatures)
@@ -296,6 +299,9 @@ func (f *Forest) Validate() error {
 				if n.Right >= 0 {
 					return fmt.Errorf("forest: tree %d node %d has Left=-1 but Right=%d", ti, i, n.Right)
 				}
+				if math.IsNaN(n.Value) || math.IsInf(n.Value, 0) {
+					return fmt.Errorf("forest: tree %d node %d has non-finite leaf value %v: %w", ti, i, n.Value, robust.ErrDegenerate)
+				}
 				return nil
 			}
 			if n.Right < 0 {
@@ -305,7 +311,10 @@ func (f *Forest) Validate() error {
 				return fmt.Errorf("forest: tree %d node %d splits on feature %d, want [0,%d)", ti, i, n.Feature, f.NumFeatures)
 			}
 			if math.IsNaN(n.Threshold) || math.IsInf(n.Threshold, 0) {
-				return fmt.Errorf("forest: tree %d node %d has non-finite threshold", ti, i)
+				return fmt.Errorf("forest: tree %d node %d has non-finite threshold: %w", ti, i, robust.ErrDegenerate)
+			}
+			if math.IsNaN(n.Gain) || math.IsInf(n.Gain, 0) {
+				return fmt.Errorf("forest: tree %d node %d has non-finite gain %v: %w", ti, i, n.Gain, robust.ErrDegenerate)
 			}
 			if err := walk(n.Left); err != nil {
 				return err

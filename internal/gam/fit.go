@@ -9,6 +9,7 @@ import (
 	"gef/internal/linalg"
 	"gef/internal/obs"
 	"gef/internal/par"
+	"gef/internal/robust"
 )
 
 // Metrics instruments (hoisted; see internal/obs).
@@ -17,6 +18,11 @@ var (
 	mIRLSIters = obs.Metrics().Histogram("gam.pirls_iters")
 	mIRLSDelta = obs.Metrics().Histogram("gam.pirls_delta")
 	mFits      = obs.Metrics().Counter("gam.fits")
+	// mNumWarn counts numerical-conditioning warnings: negative RSS
+	// clamps, non-positive GCV denominators and P-IRLS divergence. A
+	// non-zero value in -metrics-out means some λ evaluations ran on the
+	// edge of ill-conditioning even if the chosen fit is healthy.
+	mNumWarn = obs.Metrics().Counter("gam.numerical_warnings")
 )
 
 // ridgeScale is the small unconditional ridge added to every penalized
@@ -88,7 +94,10 @@ func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Opt
 	}
 	sp.Set(obs.Int("cols", d.p))
 	if d.n <= d.p {
-		return nil, fmt.Errorf("gam: %d rows for %d coefficients; need more data", d.n, d.p)
+		// ErrNumerical (not a plain error) so the structural degradation
+		// ladder in core reacts by shrinking the spline bases.
+		return nil, fmt.Errorf("gam: %d rows for %d coefficients; need more data: %w",
+			d.n, d.p, robust.ErrNumerical)
 	}
 	if spec.Link == Logit {
 		for _, v := range y {
@@ -99,11 +108,16 @@ func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Opt
 	}
 
 	s := d.penaltyMatrix()
+	// fitKey identifies this fit invocation to the fault injector
+	// (robust.ScopeFit ordinal). FitCtx calls are sequential within a
+	// pipeline, so the ordinal — and with it every injection decision —
+	// is deterministic.
+	fitKey := robust.Ordinal(robust.ScopeFit)
 	var m *Model
 	if spec.Link == Identity {
-		m, err = fitGaussian(ctx, spec, d, s, y, opt)
+		m, err = fitGaussian(ctx, spec, d, s, y, opt, fitKey)
 	} else {
-		m, err = fitLogit(ctx, spec, d, s, y, opt)
+		m, err = fitLogit(ctx, spec, d, s, y, opt, fitKey)
 	}
 	if err != nil {
 		return nil, err
@@ -204,7 +218,9 @@ func (sp *systemPool) put(m *linalg.Matrix) { sp.pool.Put(m) }
 // penalizedSystemInto overwrites dst with XᵀWX + λS plus the stabilizing
 // ridge on non-intercept diagonal entries, and returns dst. Every entry
 // of dst is written, so stale scratch contents cannot leak through.
-func penalizedSystemInto(dst, xtx, s *linalg.Matrix, lambda float64) *linalg.Matrix {
+// extraRidge (relative to the mean diagonal, like ridgeScale) is the
+// numerical-recovery ladder's escalation knob; 0 for a first attempt.
+func penalizedSystemInto(dst, xtx, s *linalg.Matrix, lambda, extraRidge float64) *linalg.Matrix {
 	copy(dst.Data, xtx.Data)
 	dst.AddScaled(lambda, s)
 	var meanDiag float64
@@ -215,26 +231,67 @@ func penalizedSystemInto(dst, xtx, s *linalg.Matrix, lambda float64) *linalg.Mat
 	if meanDiag <= 0 {
 		meanDiag = 1
 	}
-	r := ridgeScale * meanDiag
+	r := (ridgeScale + extraRidge) * meanDiag
 	for i := 1; i < dst.Rows; i++ {
 		dst.Add(i, i, r)
 	}
 	return dst
 }
 
-// gcvResult is the outcome of one λ-grid evaluation, computed in
-// parallel and selected over serially in grid order.
-type gcvResult struct {
-	ok   bool
-	skip string // reason when !ok
-	gcv  float64
-	edf  float64
-	rss  float64
-	beta []float64
-	chol *linalg.Cholesky
+// ridgeLadder is the numerical recovery schedule: when the penalized
+// system fails to factorize, the assembly is retried with these extra
+// relative ridges in order (the first entry, 0, is the ordinary
+// attempt). Bounded at 1e-3 — beyond that the system is declared
+// numerically hopeless for this λ and the grid moves on.
+var ridgeLadder = [...]float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}
+
+// factorizeRecover assembles and factorizes XᵀWX + λS, walking the
+// ridge ladder on failure. It returns the factor and the extra ridge
+// that succeeded (0 = clean first attempt; > 0 increments the
+// robust.recoveries counter), or the last factorization error with the
+// robust.ErrNumerical sentinel attached. scratch is overwritten.
+// robust.SiteCholesky injection, keyed by the fit ordinal with the
+// attempt's ridge as the level, forces failures here.
+func factorizeRecover(scratch, xtx, s *linalg.Matrix, lambda float64, fitKey int) (*linalg.Cholesky, float64, error) {
+	var lastErr error
+	for _, r := range ridgeLadder {
+		if robust.Fire(robust.SiteCholesky, fitKey, r) {
+			lastErr = linalg.ErrNotPositiveDefinite
+			continue
+		}
+		a := penalizedSystemInto(scratch, xtx, s, lambda, r)
+		ch, err := linalg.FactorizeSPD(a)
+		if err == nil {
+			if r > 0 {
+				robust.Recovered()
+			}
+			return ch, r, nil
+		}
+		lastErr = err
+	}
+	return nil, 0, fmt.Errorf("factorizing penalized system (λ=%g, ridge ladder exhausted): %w: %w",
+		lambda, robust.ErrNumerical, lastErr)
 }
 
-func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+// gcvResult is the outcome of one λ-grid evaluation, computed in
+// parallel and selected over serially in grid order. ridge and rawRSS
+// feed the serial reporting pass: events and the numerical-warning
+// counter are driven there, in grid order, so traces and metric values
+// are deterministic at any worker count.
+type gcvResult struct {
+	ok     bool
+	skip   string  // reason when !ok
+	ridge  float64 // extra ridge the recovery ladder needed (0 = clean)
+	rawRSS float64 // RSS before the non-negativity clamp
+	raw    float64 // raw value behind a skip/warning (denominator, RSS)
+	gcv    float64
+	edf    float64
+	rss    float64
+	beta   []float64
+	chol   *linalg.Cholesky
+}
+
+func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options, fitKey int) (*Model, error) {
 	_, asp := obs.Start(ctx, "gam.normal_equations", obs.Int("rows", d.n),
 		obs.Int("cols", d.p), obs.Int("workers", par.Workers()))
 	xtx, xty, yty, err := accumulateNormal(ctx, d, nil, y)
@@ -254,8 +311,7 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 	gridErr := par.For(ctx, len(opt.Lambdas), len(opt.Lambdas), func(g, _, _ int) {
 		mGCVEvals.Inc()
 		a := sysPool.get()
-		penalizedSystemInto(a, xtx, s, opt.Lambdas[g])
-		ch, ferr := linalg.FactorizeSPD(a)
+		ch, ridge, ferr := factorizeRecover(a, xtx, s, opt.Lambdas[g], fitKey)
 		sysPool.put(a) // FactorizeSPD copied a; safe to recycle now
 		if ferr != nil {
 			results[g] = gcvResult{skip: "factorization failed"}
@@ -263,26 +319,29 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 		}
 		beta := ch.Solve(xty)
 		edf := ch.TraceSolve(xtx)
-		rss := yty - 2*linalg.Dot(beta, xty) + quadForm(xtx, beta)
+		rawRSS := yty - 2*linalg.Dot(beta, xty) + quadForm(xtx, beta)
+		rss := rawRSS
 		if rss < 0 {
 			rss = 0
 		}
 		denom := n - edf
 		if denom <= 0 {
-			results[g] = gcvResult{skip: "edf exceeds n"}
+			results[g] = gcvResult{skip: "edf exceeds n", raw: denom, ridge: ridge}
 			return
 		}
 		results[g] = gcvResult{
-			ok:   true,
-			gcv:  n * rss / (denom * denom),
-			edf:  edf,
-			rss:  rss,
-			beta: beta,
-			chol: ch,
+			ok:     true,
+			ridge:  ridge,
+			rawRSS: rawRSS,
+			gcv:    n * rss / (denom * denom),
+			edf:    edf,
+			rss:    rss,
+			beta:   beta,
+			chol:   ch,
 		}
 	})
 	if gridErr != nil {
-		return nil, gridErr
+		return nil, robust.CtxErr(gridErr)
 	}
 
 	sp := obs.FromContext(ctx)
@@ -291,9 +350,31 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 	var bestChol *linalg.Cholesky
 	for g, lambda := range opt.Lambdas {
 		r := results[g]
+		if r.ridge > 0 {
+			// The recovery ladder rescued this λ; surface the escalation
+			// instead of hiding it behind a clean GCV trace.
+			sp.Event("gam.recovery", obs.Str("action", robust.ActionRidgeEscalation),
+				obs.F64("lambda", lambda), obs.F64("ridge", r.ridge))
+		}
 		if !r.ok {
+			if r.skip == "edf exceeds n" {
+				// A non-positive GCV denominator means the effective
+				// degrees of freedom swallowed the sample — severe
+				// ill-conditioning, not a normal grid miss.
+				mNumWarn.Inc()
+				sp.Event("gam.numerical_warning", obs.Str("kind", "nonpositive_gcv_denominator"),
+					obs.F64("lambda", lambda), obs.F64("raw", r.raw))
+			}
 			sp.Event("gam.gcv", obs.F64("lambda", lambda), obs.Str("skip", r.skip))
 			continue
+		}
+		if r.rawRSS < 0 {
+			// A negative RSS from the sufficient-statistics identity is
+			// cancellation error: the clamp keeps GCV defined, but the
+			// raw magnitude is the conditioning signal.
+			mNumWarn.Inc()
+			sp.Event("gam.numerical_warning", obs.Str("kind", "negative_rss"),
+				obs.F64("lambda", lambda), obs.F64("raw", r.rawRSS))
 		}
 		sp.Event("gam.gcv", obs.F64("lambda", lambda), obs.F64("gcv", r.gcv), obs.F64("edf", r.edf))
 		best.Lambdas = append(best.Lambdas, lambda)
@@ -308,7 +389,7 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 		}
 	}
 	if bestBeta == nil {
-		return nil, fmt.Errorf("gam: no λ in the grid produced a solvable system")
+		return nil, fmt.Errorf("gam: no λ in the grid produced a solvable system: %w", robust.ErrNumerical)
 	}
 	// Deviance explained: 1 − RSS/TSS at the optimum.
 	mean := 0.0
@@ -327,7 +408,12 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 	return &Model{spec: spec, design: d, beta: bestBeta, chol: bestChol, report: best}, nil
 }
 
-func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options) (*Model, error) {
+// maxHalvings bounds the P-IRLS step-halving recovery: a step whose
+// deviance still increases after this many halvings toward the previous
+// iterate is declared divergent and the λ is skipped.
+const maxHalvings = 3
+
+func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []float64, opt Options, fitKey int) (*Model, error) {
 	n := float64(d.n)
 	best := FitReport{GCV: math.Inf(1)}
 	var bestBeta []float64
@@ -354,7 +440,34 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		var ch *linalg.Cholesky
 		var edf, wrss, lastDelta float64
 		prevDev := math.Inf(1)
+		prevBeta := make([]float64, d.p)
 		iters := 0
+		diverged := false
+		// evalDev updates eta for candidate b and returns the binomial
+		// deviance; disjoint eta rows, chunk-ordered fold — bitwise-stable.
+		// robust.SiteIRLS injection (level = it + 0.25·halvings) replaces
+		// the result with a spurious increase to force the divergence
+		// recovery path.
+		evalDev := func(b []float64, it, halvings int) (float64, error) {
+			dev, err := par.MapReduce(ctx, d.n, 0,
+				func(_, lo, hi int) float64 {
+					var chunkDev float64
+					for i := lo; i < hi; i++ {
+						eta[i] = d.rowDot(i, b)
+						chunkDev += binomialDeviance(y[i], sigmoid(eta[i]))
+					}
+					return chunkDev
+				},
+				func(a, b float64) float64 { return a + b })
+			if err != nil {
+				return 0, err
+			}
+			if !math.IsInf(prevDev, 1) &&
+				robust.Fire(robust.SiteIRLS, fitKey, float64(it)+0.25*float64(halvings)) {
+				dev = math.Abs(prevDev)*2 + 1
+			}
+			return dev, nil
+		}
 		for it := 0; it < opt.MaxIRLS; it++ {
 			iters = it + 1
 			// Reweighting writes disjoint rows of w/z — parallel over
@@ -376,37 +489,59 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 				}
 			}); err != nil {
 				lsp.End()
-				return nil, err
+				return nil, robust.CtxErr(err)
 			}
 			xtwx, xtwz, _, accErr := accumulateNormal(ctx, d, w, z)
 			if accErr != nil {
 				lsp.End()
-				return nil, accErr
+				return nil, robust.CtxErr(accErr)
 			}
-			a := penalizedSystemInto(scratch, xtwx, s, lambda)
+			var ridge float64
 			var err error
-			ch, err = linalg.FactorizeSPD(a)
+			ch, ridge, err = factorizeRecover(scratch, xtwx, s, lambda, fitKey)
 			if err != nil {
 				ch = nil
 				break
 			}
-			beta = ch.Solve(xtwz)
-			// The linear predictor update writes disjoint eta rows; the
-			// deviance folds per-chunk sums in chunk order (bitwise-stable).
-			dev, devErr := par.MapReduce(ctx, d.n, 0,
-				func(_, lo, hi int) float64 {
-					var chunkDev float64
-					for i := lo; i < hi; i++ {
-						eta[i] = d.rowDot(i, beta)
-						chunkDev += binomialDeviance(y[i], sigmoid(eta[i]))
-					}
-					return chunkDev
-				},
-				func(a, b float64) float64 { return a + b })
+			if ridge > 0 {
+				lsp.Event("gam.recovery", obs.Str("action", robust.ActionRidgeEscalation),
+					obs.F64("ridge", ridge), obs.Int("iter", it))
+			}
+			cand := ch.Solve(xtwz)
+			dev, devErr := evalDev(cand, it, 0)
 			if devErr != nil {
 				lsp.End()
-				return nil, devErr
+				return nil, robust.CtxErr(devErr)
 			}
+			// Divergence recovery: a step that increases the deviance is
+			// halved toward the previous iterate (Wood 2006 §3.2.2-style
+			// step control) before the λ is given up on.
+			halvings := 0
+			for dev > prevDev && halvings < maxHalvings {
+				halvings++
+				for j := range cand {
+					cand[j] = 0.5 * (cand[j] + prevBeta[j])
+				}
+				dev, devErr = evalDev(cand, it, halvings)
+				if devErr != nil {
+					lsp.End()
+					return nil, robust.CtxErr(devErr)
+				}
+			}
+			if halvings > 0 {
+				if dev > prevDev {
+					diverged = true
+					mNumWarn.Inc()
+					lsp.Event("gam.numerical_warning", obs.Str("kind", "pirls_diverged"),
+						obs.Int("iter", it), obs.F64("raw", dev), obs.F64("prev_dev", prevDev))
+					break
+				}
+				robust.Recovered()
+				lsp.Event("gam.recovery", obs.Str("action", robust.ActionStepHalving),
+					obs.Int("iter", it), obs.Int("halvings", halvings))
+			}
+			beta = cand
+			copy(prevBeta, beta)
 			lastDelta = math.Abs(prevDev - dev)
 			if lastDelta < opt.Tol*(math.Abs(dev)+1) {
 				edf = ch.TraceSolve(xtwx)
@@ -423,6 +558,11 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		if !math.IsInf(lastDelta, 0) {
 			mIRLSDelta.Observe(lastDelta)
 		}
+		if diverged {
+			lsp.Set(obs.Str("skip", "pirls diverged"))
+			lsp.End()
+			continue
+		}
 		if ch == nil || beta == nil {
 			lsp.Set(obs.Str("skip", "factorization failed"))
 			lsp.End()
@@ -430,6 +570,9 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		}
 		denom := n - edf
 		if denom <= 0 {
+			mNumWarn.Inc()
+			lsp.Event("gam.numerical_warning", obs.Str("kind", "nonpositive_gcv_denominator"),
+				obs.F64("raw", denom))
 			lsp.Set(obs.Str("skip", "edf exceeds n"))
 			lsp.End()
 			continue
@@ -451,7 +594,7 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		}
 	}
 	if bestBeta == nil {
-		return nil, fmt.Errorf("gam: P-IRLS failed for every λ in the grid")
+		return nil, fmt.Errorf("gam: P-IRLS failed for every λ in the grid: %w", robust.ErrNumerical)
 	}
 	// Binomial dispersion is 1 by GLM convention (as in pyGAM/mgcc);
 	// the working-residual estimate only drives the GCV comparison.

@@ -1,0 +1,60 @@
+package gam
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalModel asserts the deserialization contract for untrusted
+// model files: any byte slice either fails with an error or yields a model
+// that predicts and explains without panicking. Bounds enforced by
+// UnmarshalModel (basis-size cap, non-negative feature indices, finite
+// basis ranges) exist exactly so this holds.
+func FuzzUnmarshalModel(f *testing.F) {
+	xs := make([][]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		v := float64(i) / 10
+		xs[i] = []float64{v, float64(i % 3)}
+		ys[i] = v*v + float64(i%3)
+	}
+	m, err := Fit(Spec{Link: Identity, Terms: []TermSpec{
+		{Kind: Spline, Feature: 0, NumBasis: 6},
+		{Kind: Factor, Feature: 1},
+	}}, xs, ys, Options{Lambdas: []float64{1}})
+	if err != nil {
+		f.Fatalf("fitting seed model: %v", err)
+	}
+	for _, includeCI := range []bool{false, true} {
+		data, err := m.Marshal(includeCI)
+		if err != nil {
+			f.Fatalf("marshaling seed model: %v", err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"terms":[{"spec":{"Kind":"spline","Feature":0,"NumBasis":4}}],"beta":[0,0,0,0,0],"term_means":[0],"col_means":[0,0,0,0,0]}`))
+	f.Add([]byte(`{"version":1,"terms":[{"spec":{"Kind":"spline","Feature":0,"NumBasis":99999999}}]}`))
+	f.Add([]byte(`{"version":1,"terms":[{"spec":{"Kind":"tensor","Feature":0,"Feature2":-4,"NumBasis":4}}]}`))
+	f.Add([]byte(`{"version":7}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalModel(data)
+		if err != nil {
+			return
+		}
+		// A model that unmarshalled cleanly must predict and explain on a
+		// zero row wide enough for its largest feature index.
+		width := 1
+		for _, ts := range m.spec.Terms {
+			if ts.Feature >= width {
+				width = ts.Feature + 1
+			}
+			if ts.Kind == Tensor && ts.Feature2 >= width {
+				width = ts.Feature2 + 1
+			}
+		}
+		x := make([]float64, width)
+		m.Predict(x)
+		m.Explain(x)
+	})
+}

@@ -4,11 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"gef/internal/linalg"
 	"gef/internal/obs"
+	"gef/internal/robust"
 )
+
+// maxSerializedBasis bounds the per-axis basis size accepted from
+// serialized models, so a corrupt or hostile file cannot trigger a
+// giant allocation (a tensor term allocates NumBasis² coefficients).
+const maxSerializedBasis = 1024
 
 // modelFormatVersion guards the on-disk layout of serialized models.
 const modelFormatVersion = 1
@@ -89,6 +96,24 @@ func UnmarshalModel(data []byte) (*Model, error) {
 	col := 1
 	spec := Spec{Link: mj.Link}
 	for i, tj := range mj.Terms {
+		// Bounds and finiteness checks: a model file is untrusted input
+		// (the paper's third-party hand-off scenario), so reject anything
+		// that would panic or over-allocate downstream instead of building
+		// a model that detonates on first Predict.
+		if tj.Spec.Feature < 0 {
+			return nil, fmt.Errorf("gam: term %d: negative feature index %d: %w", i, tj.Spec.Feature, robust.ErrDegenerate)
+		}
+		if tj.Spec.Kind == Tensor && tj.Spec.Feature2 < 0 {
+			return nil, fmt.Errorf("gam: term %d: negative feature index %d: %w", i, tj.Spec.Feature2, robust.ErrDegenerate)
+		}
+		if tj.Spec.Kind != Factor && tj.Spec.NumBasis > maxSerializedBasis {
+			return nil, fmt.Errorf("gam: term %d: basis size %d exceeds limit %d: %w", i, tj.Spec.NumBasis, maxSerializedBasis, robust.ErrDegenerate)
+		}
+		for _, v := range []float64{tj.Lo, tj.Hi, tj.Lo2, tj.Hi2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("gam: term %d: non-finite basis range: %w", i, robust.ErrDegenerate)
+			}
+		}
 		bt := builtTerm{spec: tj.Spec, offset: col}
 		switch tj.Spec.Kind {
 		case Spline:

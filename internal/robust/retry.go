@@ -1,0 +1,92 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds a Retry loop: at most Attempts tries, sleeping
+// BaseDelay·2^attempt between failures, capped at MaxDelay.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// BaseDelay is the sleep before the second attempt (default 25ms);
+	// it doubles per attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// permanentError marks an error Retry must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry returns it immediately instead of
+// retrying: use it inside op for failures that cannot heal (degenerate
+// input, invalid configuration).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs op up to p.Attempts times with capped exponential backoff,
+// returning nil on the first success. It stops early — returning the
+// typed context error via CtxErr — when ctx is done, and immediately on
+// errors wrapped with Permanent or carrying the ErrDegenerate /
+// ErrConfig sentinels (retrying cannot repair those classes). The last
+// error is returned when every attempt fails.
+func Retry(ctx context.Context, p RetryPolicy, op func(attempt int) error) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return CtxErr(err)
+		}
+		if attempt > 0 {
+			mRetries.Inc()
+			delay := p.BaseDelay << (attempt - 1)
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return CtxErr(ctx.Err())
+			case <-t.C:
+			}
+		}
+		err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		if errors.Is(err, ErrDegenerate) || errors.Is(err, ErrConfig) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("after %d attempts: %w", p.Attempts, lastErr)
+}

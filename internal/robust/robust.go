@@ -1,0 +1,162 @@
+// Package robust is GEF's fault-tolerance layer: typed sentinel errors
+// shared by every pipeline stage, degradation records that document how
+// an explanation was simplified to survive a numerical failure, a
+// bounded retry helper for transient faults, and a deterministic fault
+// injector used by tests and verify.sh to prove the recovery paths.
+//
+// The package is stdlib-only and depends only on internal/obs (for the
+// robust.* metrics and degradation span events), so any layer — linalg
+// consumers, sampling, gam, core, the CLIs — can import it without
+// cycles.
+//
+// # Error taxonomy
+//
+// Every failure the pipeline can surface belongs to exactly one of four
+// classes, each with an errors.Is-able sentinel:
+//
+//   - ErrDegenerate: the *input* is structurally unusable (a forest
+//     with non-finite leaf values, a feature whose threshold set is
+//     empty or collapses to a single point). Retrying cannot help; the
+//     caller must repair or drop the offending input.
+//   - ErrNumerical: a *computation* failed numerically (no λ in the
+//     grid produced a solvable penalized system, P-IRLS diverged after
+//     step-halving). The degradation ladder in core reacts to this
+//     class by refitting a structurally simpler model.
+//   - ErrDeadline: the context deadline expired mid-pipeline. CtxErr
+//     attaches this sentinel to context.DeadlineExceeded so callers can
+//     distinguish "out of time" from "cannot compute" at every layer.
+//   - ErrConfig: a configuration knob is NaN, negative or otherwise
+//     outside its domain. Rejected up front instead of silently
+//     defaulted.
+//
+// # Degradation ladder
+//
+// When the full explanation cannot be fitted, core walks a ladder of
+// structurally simpler candidates (drop tensor terms → shrink spline
+// bases → minimal main-effects fit) and records one Degradation per
+// rung in Explanation.Degradations, so callers always know exactly what
+// they got. The ladder only ever reacts to ErrNumerical; degenerate
+// inputs and deadlines are surfaced immediately.
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gef/internal/obs"
+)
+
+// Sentinel errors; match with errors.Is at any layer.
+var (
+	// ErrDegenerate marks structurally unusable input: degenerate forest
+	// structure (non-finite thresholds or leaf values) or a sampling
+	// domain that is empty or collapses to a single point.
+	ErrDegenerate = errors.New("degenerate input")
+	// ErrNumerical marks a numerically failed computation after all
+	// in-stage recovery (ridge escalation, step-halving) was exhausted.
+	ErrNumerical = errors.New("numerical failure")
+	// ErrDeadline marks a context deadline expiry; it always wraps
+	// context.DeadlineExceeded (via CtxErr) so both sentinels match.
+	ErrDeadline = errors.New("deadline exceeded")
+	// ErrConfig marks an invalid configuration knob (NaN, negative, or
+	// out of domain) rejected by strict validation.
+	ErrConfig = errors.New("invalid configuration")
+)
+
+// CtxErr maps a context error to the robust taxonomy: DeadlineExceeded
+// gains the ErrDeadline sentinel (both errors.Is checks succeed),
+// Canceled passes through unchanged, nil stays nil.
+func CtxErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDeadline) {
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
+	return err
+}
+
+// FeatureError attributes a degenerate-input failure to one feature, so
+// the pipeline can drop exactly that feature and continue with the
+// rest. It wraps the underlying cause (usually ErrDegenerate).
+type FeatureError struct {
+	Feature int
+	Err     error
+}
+
+func (e *FeatureError) Error() string {
+	return fmt.Sprintf("feature %d: %v", e.Feature, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *FeatureError) Unwrap() error { return e.Err }
+
+// Degradation actions, from least to most structural.
+const (
+	// ActionRidgeEscalation: a penalized system only factorized after
+	// escalating the stabilizing ridge (per-λ recovery inside gam).
+	ActionRidgeEscalation = "ridge_escalation"
+	// ActionStepHalving: a diverging P-IRLS step was recovered by
+	// halving toward the previous iterate.
+	ActionStepHalving = "step_halving"
+	// ActionDropFeature: a selected feature with a degenerate sampling
+	// domain was removed from F′.
+	ActionDropFeature = "drop_feature"
+	// ActionDropTensors: tensor interaction terms were removed from the
+	// GAM spec after the full fit failed numerically.
+	ActionDropTensors = "drop_tensors"
+	// ActionShrinkBases: spline basis sizes were halved after the
+	// tensor-free fit still failed.
+	ActionShrinkBases = "shrink_bases"
+	// ActionMainEffects: the final ladder rung — a minimal-basis
+	// main-effects-only fit.
+	ActionMainEffects = "main_effects_only"
+)
+
+// Degradation records one step the pipeline took to keep producing a
+// valid (if simpler) explanation instead of failing outright.
+type Degradation struct {
+	// Stage is the pipeline stage that degraded ("sampling", "gam").
+	Stage string `json:"stage"`
+	// Action is one of the Action* constants.
+	Action string `json:"action"`
+	// Reason is the error message that triggered the degradation.
+	Reason string `json:"reason"`
+	// Detail carries action-specific specifics (feature index, basis
+	// sizes) for human consumption.
+	Detail string `json:"detail,omitempty"`
+}
+
+func (d Degradation) String() string {
+	s := fmt.Sprintf("%s/%s", d.Stage, d.Action)
+	if d.Detail != "" {
+		s += " (" + d.Detail + ")"
+	}
+	return s
+}
+
+// Metrics instruments (hoisted; see internal/obs).
+var (
+	mDegradations = obs.Metrics().Counter("robust.degradations")
+	mRecoveries   = obs.Metrics().Counter("robust.recoveries")
+	mInjected     = obs.Metrics().Counter("robust.injected_faults")
+	mRetries      = obs.Metrics().Counter("robust.retries")
+)
+
+// Record appends d to list, increments robust.degradations and emits a
+// robust.degradation event on the span carried by ctx (a no-op when
+// tracing is off).
+func Record(ctx context.Context, list *[]Degradation, d Degradation) {
+	*list = append(*list, d)
+	mDegradations.Inc()
+	obs.FromContext(ctx).Event("robust.degradation",
+		obs.Str("stage", d.Stage),
+		obs.Str("action", d.Action),
+		obs.Str("detail", d.Detail))
+}
+
+// Recovered increments the robust.recoveries counter. Stages call it
+// when an in-stage mechanism (ridge escalation, step-halving) rescued a
+// computation that would otherwise have failed.
+func Recovered() { mRecoveries.Inc() }

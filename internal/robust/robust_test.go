@@ -1,0 +1,174 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestCtxErrTaxonomy(t *testing.T) {
+	if CtxErr(nil) != nil {
+		t.Fatal("CtxErr(nil) != nil")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	err := CtxErr(ctx.Err())
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("deadline error %v does not match ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error %v lost context.DeadlineExceeded", err)
+	}
+	// Idempotent: wrapping twice must not stack sentinels.
+	if again := CtxErr(err); again != err {
+		t.Fatalf("CtxErr not idempotent: %v", again)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if err := CtxErr(cctx.Err()); !errors.Is(err, context.Canceled) || errors.Is(err, ErrDeadline) {
+		t.Fatalf("canceled error mapped wrongly: %v", err)
+	}
+}
+
+func TestFeatureErrorUnwraps(t *testing.T) {
+	err := fmt.Errorf("sampling: %w",
+		&FeatureError{Feature: 3, Err: fmt.Errorf("collapsed: %w", ErrDegenerate)})
+	if !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("%v does not match ErrDegenerate", err)
+	}
+	var fe *FeatureError
+	if !errors.As(err, &fe) || fe.Feature != 3 {
+		t.Fatalf("errors.As failed to recover FeatureError from %v", err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 4, BaseDelay: time.Microsecond},
+		func(attempt int) error {
+			calls++
+			if attempt < 2 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAndWrapsLastError(t *testing.T) {
+	last := errors.New("still broken")
+	err := Retry(context.Background(), RetryPolicy{Attempts: 2, BaseDelay: time.Microsecond},
+		func(int) error { return last })
+	if !errors.Is(err, last) {
+		t.Fatalf("Retry = %v, want wrap of %v", err, last)
+	}
+}
+
+func TestRetryStopsOnPermanentAndDegenerate(t *testing.T) {
+	for name, mk := range map[string]func() error{
+		"permanent":  func() error { return Permanent(errors.New("broken input")) },
+		"degenerate": func() error { return fmt.Errorf("bad: %w", ErrDegenerate) },
+		"config":     func() error { return fmt.Errorf("bad: %w", ErrConfig) },
+	} {
+		calls := 0
+		err := Retry(context.Background(), RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond},
+			func(int) error { calls++; return mk() })
+		if err == nil || calls != 1 {
+			t.Fatalf("%s: Retry = %v after %d calls, want error after exactly 1", name, err, calls)
+		}
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := Retry(ctx, RetryPolicy{Attempts: 1000, BaseDelay: 2 * time.Millisecond},
+		func(int) error { return errors.New("transient") })
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("Retry under expired deadline = %v, want ErrDeadline", err)
+	}
+}
+
+func TestInjectorOffIsInert(t *testing.T) {
+	SetInjector(nil)
+	if Fire(SiteCholesky, 0, 0) {
+		t.Fatal("Fire fired with no injector installed")
+	}
+	if Ordinal(ScopeFit) != 0 || Ordinal(ScopeFit) != 0 {
+		t.Fatal("Ordinal advanced with no injector installed")
+	}
+}
+
+func TestInjectorKeyAndLevelMatching(t *testing.T) {
+	SetInjector(NewInjector(1,
+		FailAlways(SiteDomains, 2),
+		FailBelow(SiteCholesky, -1, 1e-5),
+	))
+	defer SetInjector(nil)
+
+	if !Fire(SiteDomains, 2, 0) {
+		t.Fatal("exact key did not fire")
+	}
+	if Fire(SiteDomains, 3, 0) {
+		t.Fatal("non-matching key fired")
+	}
+	if Fire(SiteIRLS, 2, 0) {
+		t.Fatal("unplanned site fired")
+	}
+	// Escalation: attempts below the threshold fail, at/above succeed.
+	if !Fire(SiteCholesky, 7, 0) || !Fire(SiteCholesky, 7, 1e-6) {
+		t.Fatal("ridge below threshold did not fire")
+	}
+	if Fire(SiteCholesky, 7, 1e-5) || Fire(SiteCholesky, 7, 1e-3) {
+		t.Fatal("ridge at/above threshold fired")
+	}
+}
+
+func TestInjectorOrdinalResetsPerInstall(t *testing.T) {
+	SetInjector(NewInjector(1))
+	if got := []int{Ordinal(ScopeFit), Ordinal(ScopeFit), Ordinal("other")}; got[0] != 0 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("ordinals = %v, want [0 1 0]", got)
+	}
+	SetInjector(NewInjector(1))
+	defer SetInjector(nil)
+	if Ordinal(ScopeFit) != 0 {
+		t.Fatal("fresh install did not reset ordinals")
+	}
+}
+
+func TestInjectorProbIsDeterministicInKey(t *testing.T) {
+	in := NewInjector(42, FailProb(SiteDomains, -1, 0.5))
+	fired := 0
+	for key := 0; key < 1000; key++ {
+		a := in.fire(SiteDomains, key, 0)
+		b := in.fire(SiteDomains, key, 0)
+		if a != b {
+			t.Fatalf("key %d: decision not reproducible", key)
+		}
+		if a {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Fatalf("prob 0.5 fired %d/1000 keys", fired)
+	}
+}
+
+func TestDegradationRecord(t *testing.T) {
+	var list []Degradation
+	Record(context.Background(), &list, Degradation{
+		Stage: "gam", Action: ActionDropTensors, Reason: "numerical failure", Detail: "2 tensor terms",
+	})
+	if len(list) != 1 || list[0].Action != ActionDropTensors {
+		t.Fatalf("Record produced %+v", list)
+	}
+	if s := list[0].String(); s != "gam/drop_tensors (2 tensor terms)" {
+		t.Fatalf("String() = %q", s)
+	}
+}

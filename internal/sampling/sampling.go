@@ -20,6 +20,7 @@ import (
 	"gef/internal/forest"
 	"gef/internal/obs"
 	"gef/internal/par"
+	"gef/internal/robust"
 	"gef/internal/stats"
 )
 
@@ -127,7 +128,10 @@ func BuildDomainsCtx(ctx context.Context, f *forest.Forest, selected []int, cfg 
 func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Strategy != AllThresholds && cfg.Strategy != Random && cfg.K < 1 {
-		return nil, fmt.Errorf("sampling: strategy %q requires K ≥ 1, got %d", cfg.Strategy, cfg.K)
+		return nil, fmt.Errorf("sampling: strategy %q requires K ≥ 1, got %d: %w", cfg.Strategy, cfg.K, robust.ErrConfig)
+	}
+	if math.IsNaN(cfg.Epsilon) || cfg.Epsilon < 0 {
+		return nil, fmt.Errorf("sampling: Epsilon = %v is not a non-negative number: %w", cfg.Epsilon, robust.ErrConfig)
 	}
 	thresholds := f.ThresholdsByFeature()
 	d := &Domains{
@@ -148,7 +152,16 @@ func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error
 	for _, j := range d.Features {
 		v := thresholds[j]
 		if len(v) == 0 {
-			return nil, fmt.Errorf("sampling: selected feature %d has no split thresholds in the forest", j)
+			return nil, fmt.Errorf("sampling: %w", &robust.FeatureError{
+				Feature: j,
+				Err:     fmt.Errorf("no split thresholds in the forest: %w", robust.ErrDegenerate),
+			})
+		}
+		if robust.Fire(robust.SiteDomains, j, 0) {
+			return nil, fmt.Errorf("sampling: %w", &robust.FeatureError{
+				Feature: j,
+				Err:     fmt.Errorf("injected domain collapse: %w", robust.ErrDegenerate),
+			})
 		}
 		lo, hi := extendedRange(v, cfg.Epsilon)
 		d.Ranges[j] = [2]float64{lo, hi}
@@ -167,6 +180,17 @@ func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error
 		// All-Thresholds domain, which always straddles every split.
 		if cfg.Strategy != Random && len(dedupeSorted(sortedCopy(pts))) < 2 {
 			pts = allThresholdPoints(v, lo, hi)
+		}
+		// Defense in depth behind the fallback: a domain with fewer than
+		// two distinct points cannot make the feature vary in D*, so the
+		// caller must drop the feature, not fit through it.
+		if cfg.Strategy != Random {
+			if n := len(dedupeSorted(sortedCopy(pts))); n < 2 {
+				return nil, fmt.Errorf("sampling: %w", &robust.FeatureError{
+					Feature: j,
+					Err:     fmt.Errorf("sampling domain collapsed to %d distinct points: %w", n, robust.ErrDegenerate),
+				})
+			}
 		}
 		d.Points[j] = pts
 	}

@@ -15,13 +15,19 @@ go run ./cmd/geflint -json ./...
 
 go test ./...
 
+# Fault-injection gate: the deterministic injector must turn every
+# planned fault into a recovery, a recorded degradation, or a typed
+# taxonomy error — run explicitly so a -run filter in local workflows
+# can never silently drop the suite.
+go test -count=1 -run TestFaultInjection ./...
+
 # Race gate: every package whose sources (tests included) start
 # goroutines, touch sync/atomic primitives, or import the internal/par
 # worker-pool runtime is re-run under the race detector. The set is
 # discovered by scanning, not hard-coded, so new concurrent (or newly
 # parallelized) code is raced automatically.
 race_pkgs=$(grep -rl --include='*.go' --exclude-dir=testdata \
-	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"' . |
+	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"|"gef/internal/robust"' . |
 	xargs -r -n1 dirname | sort -u)
 if [ -n "${race_pkgs}" ]; then
 	# shellcheck disable=SC2086 # word splitting is the point
