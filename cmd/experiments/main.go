@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"gef/internal/core"
 	"gef/internal/experiments"
 	"gef/internal/obs"
 	"gef/internal/par"
@@ -107,5 +108,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if ocli.Verbose {
+		// Experiments sharing a forest/config reuse staged pipeline
+		// artifacts; the summary shows what the engine cache served.
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", core.SharedEngine().CacheStats())
 	}
 }

@@ -89,7 +89,9 @@ func main() {
 		fmt.Printf("validation RMSE: %.4f, R²: %.4f\n",
 			stats.RMSE(pred, valid.Y), stats.R2(pred, valid.Y))
 	}
-	fmt.Printf("forest written to %s\n", *out)
+	// The fingerprint keys the explainer's artifact cache; printing it
+	// lets batch scripts correlate forest files with engine cache reuse.
+	fmt.Printf("forest written to %s (fingerprint %s)\n", *out, f.Fingerprint())
 }
 
 func loadData(path, task, gen string, rows int, seed int64) (*dataset.Dataset, error) {

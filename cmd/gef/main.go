@@ -90,8 +90,8 @@ func main() {
 	if err != nil {
 		fatal("loading forest: %v", err)
 	}
-	fmt.Printf("forest: %d trees, %d nodes, %d features, objective %s\n",
-		len(f.Trees), f.NumNodes(), f.NumFeatures, f.Objective)
+	fmt.Printf("forest: %d trees, %d nodes, %d features, objective %s, fingerprint %s\n",
+		len(f.Trees), f.NumNodes(), f.NumFeatures, f.Objective, f.Fingerprint())
 
 	cfg := core.Config{
 		NumUnivariate:       *splines,
@@ -122,6 +122,12 @@ func main() {
 		if err != nil {
 			fatalTyped("explaining", err)
 		}
+	}
+	if ocli.Verbose {
+		// Batch invocations in one process (and AutoExplain's candidate
+		// search) reuse staged artifacts; the summary shows what was
+		// served from the engine cache.
+		fmt.Fprintf(os.Stderr, "gef: %s\n", core.SharedEngine().CacheStats())
 	}
 
 	fmt.Printf("\nGEF explanation — |F'| = %d, |F''| = %d, strategy %s\n",

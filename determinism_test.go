@@ -270,8 +270,11 @@ func TestFullExplainDeterministicAcrossWorkers(t *testing.T) {
 		GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
 		Seed:          3,
 	}
+	// Each run gets a fresh session: the shared engine's cache would
+	// serve later runs from memory and make the worker sweep vacuous
+	// (warm runs never touch the parallel code paths).
 	run := func() []float64 {
-		e, err := Explain(f, cfg)
+		e, err := NewExplainer(f).Explain(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -282,6 +285,52 @@ func TestFullExplainDeterministicAcrossWorkers(t *testing.T) {
 	for _, w := range workerCounts()[1:] {
 		atWorkers(t, w, func() {
 			requireSameFloats(t, "explanation predictions", ref, run(), w)
+		})
+	}
+}
+
+// TestEngineWarmCacheDeterministicAcrossWorkers extends the determinism
+// gate to the engine's cache states: for every worker count, a cold run
+// and a warm re-run on the same session must match the workers=1 cold
+// reference bitwise. Cached artifacts are pure values, so cache state —
+// like worker count — must be output-invisible.
+func TestEngineWarmCacheDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline sweep")
+	}
+	f, ds := trainFixtureForest(t)
+	cfg := Config{
+		NumUnivariate: 4,
+		NumSamples:    2000,
+		Sampling:      SamplingConfig{Strategy: EquiSize, K: 40},
+		GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+		Seed:          3,
+	}
+	runTwice := func() (cold, warm []float64, stats CacheStats) {
+		s := NewExplainer(f)
+		for i, out := range []*[]float64{&cold, &warm} {
+			e, err := s.Explain(cfg)
+			if err != nil {
+				t.Fatalf("run %d: %v", i, err)
+			}
+			*out = e.Model.PredictBatch(ds.X[:100])
+		}
+		return cold, warm, s.CacheStats()
+	}
+	var ref []float64
+	atWorkers(t, 1, func() {
+		cold, warm, stats := runTwice()
+		if stats.Hits == 0 {
+			t.Fatal("warm run recorded no cache hits")
+		}
+		requireSameFloats(t, "warm vs cold predictions", cold, warm, 1)
+		ref = cold
+	})
+	for _, w := range workerCounts()[1:] {
+		atWorkers(t, w, func() {
+			cold, warm, _ := runTwice()
+			requireSameFloats(t, "cold predictions", ref, cold, w)
+			requireSameFloats(t, "warm predictions", ref, warm, w)
 		})
 	}
 }

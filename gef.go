@@ -156,6 +156,81 @@ func AutoExplainContext(ctx context.Context, f *Forest, cfg AutoConfig) (*Explan
 	return core.AutoExplainCtx(ctx, f, cfg)
 }
 
+// --- Sessions & artifact reuse (internal/core engine) ---------------------
+
+// Explainer is an explanation session over one (or more) forests. It
+// wraps the staged pipeline engine: each stage — feature selection,
+// sampling-domain construction, D* generation, interaction ranking, GAM
+// fitting — produces an artifact keyed by the forest fingerprint plus
+// the configuration fields that stage reads, held in a bounded
+// in-memory cache. Repeated Explain calls with overlapping configs,
+// AutoExplain searches and batch sweeps reuse forest statistics,
+// domains, sampled datasets, interaction rankings and B-spline bases
+// instead of recomputing them; outputs are bitwise identical to a cold
+// run. An Explainer is safe for concurrent use.
+//
+// The package-level Explain/AutoExplain functions share one
+// process-wide session; NewExplainer isolates a cache (and its memory)
+// per analysis.
+type Explainer struct {
+	eng *core.Engine
+	f   *Forest
+}
+
+// CacheStats summarizes an Explainer's artifact cache (global and
+// per-stage hit/miss counts, resident entries and bytes).
+type CacheStats = core.CacheStats
+
+// NewExplainer opens an explanation session for f with a fresh artifact
+// cache. The forest is captured once; every call on the session
+// explains it.
+func NewExplainer(f *Forest) *Explainer {
+	return &Explainer{eng: core.NewEngine(), f: f}
+}
+
+// Explain runs the GEF pipeline through the session cache.
+func (s *Explainer) Explain(cfg Config) (*Explanation, error) {
+	return s.eng.Explain(s.f, cfg)
+}
+
+// ExplainContext is Explain with context propagation.
+func (s *Explainer) ExplainContext(ctx context.Context, cfg Config) (*Explanation, error) {
+	return s.eng.ExplainCtx(ctx, s.f, cfg)
+}
+
+// AutoExplain runs the component-count search through the session
+// cache; after any prior call on the session it skips straight to the
+// candidate fits.
+func (s *Explainer) AutoExplain(cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return s.eng.AutoExplain(s.f, cfg)
+}
+
+// AutoExplainContext is AutoExplain with context propagation.
+func (s *Explainer) AutoExplainContext(ctx context.Context, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return s.eng.AutoExplainCtx(ctx, s.f, cfg)
+}
+
+// CacheStats reports the session's artifact-cache statistics.
+func (s *Explainer) CacheStats() CacheStats { return s.eng.CacheStats() }
+
+// SharedCacheStats reports the cache statistics of the process-wide
+// session behind the package-level Explain/AutoExplain functions.
+func SharedCacheStats() CacheStats { return core.SharedEngine().CacheStats() }
+
+// MarshalExplanation serializes an explanation to JSON (model included;
+// with includeCI the credible-interval factor too). The forest and the
+// D* splits are not serialized.
+func MarshalExplanation(e *Explanation, includeCI bool) ([]byte, error) {
+	return e.Marshal(includeCI)
+}
+
+// UnmarshalExplanation reloads an explanation serialized by
+// MarshalExplanation. The result predicts and explains instances;
+// Forest, Train and Test are nil.
+func UnmarshalExplanation(data []byte) (*Explanation, error) {
+	return core.Unmarshal(data)
+}
+
 // GAM surrogate model types.
 type (
 	// Model is a fitted GAM (the explainer Γ).

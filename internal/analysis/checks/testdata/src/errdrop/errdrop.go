@@ -3,6 +3,7 @@ package errdrop
 
 import (
 	"fmt"
+	"hash"
 	"os"
 	"strings"
 )
@@ -50,4 +51,16 @@ func handled() error {
 		return err
 	}
 	return nil
+}
+
+// hash.Hash writes never fail, but unlike strings.Builder the analyzer
+// does not special-case them — a bare write is flagged, and fingerprint
+// hashing suppresses it with the documented annotation.
+func hashBare(h hash.Hash, b []byte) {
+	h.Write(b) // want "call discards its error result"
+}
+
+func hashAnnotated(h hash.Hash, b []byte) {
+	//lint:ignore errdrop hash.Hash Write never returns an error
+	h.Write(b)
 }

@@ -41,4 +41,16 @@ func helper(xs []float64) float64 {
 // Name is exported but loop-free — exempt.
 func Name() string { return "gbdt" }
 
+// CacheStats mirrors the explanation engine's stats snapshot: an
+// exported work loop annotated as a diagnostic read — suppressed.
+//
+//lint:ignore obsspan diagnostic snapshot; spanning it would distort the traces it reports on
+func CacheStats(counts map[string]int) int {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
 var _ = helper

@@ -10,7 +10,6 @@ import (
 	"gef/internal/gam"
 	"gef/internal/obs"
 	"gef/internal/robust"
-	"gef/internal/sampling"
 	"gef/internal/stats"
 )
 
@@ -67,14 +66,27 @@ type AutoStep struct {
 // requirement). It adds splines in gain order while each improves
 // held-out RMSE by at least Tolerance relatively, then interaction terms
 // the same way, and returns the chosen explanation plus the full trace.
+// Runs on the shared process-wide engine; use NewEngine for an isolated
+// cache.
 func AutoExplain(f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
-	return AutoExplainCtx(context.Background(), f, cfg)
+	return shared.AutoExplainCtx(context.Background(), f, cfg)
 }
 
 // AutoExplainCtx is AutoExplain with context propagation: the search
 // opens one obs span per evaluated candidate, so traces show where the
-// component search spends its time.
+// component search spends its time. Runs on the shared process-wide
+// engine.
 func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	return shared.AutoExplainCtx(ctx, f, cfg)
+}
+
+// AutoExplainCtx runs the component search through e's artifact cache.
+// The search shares the stats/featsel/domains/sample/interactions
+// artifacts with plain ExplainCtx calls over the same forest and base
+// configuration, and every candidate fit reuses the engine's B-spline
+// bases and penalty blocks — a warm engine skips straight to the
+// candidate fits.
+func (e *Engine) AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
 	cfg = cfg.withDefaults(f)
 	base := cfg.Base.withDefaults()
 	ctx, root := obs.Start(ctx, "gef.auto_explain",
@@ -85,46 +97,38 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	if err := f.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("gef: invalid forest: %w", err)
 	}
-	features := featsel.TopFeatures(f, cfg.MaxUnivariate)
-	if len(features) == 0 {
+	p := &pipeline{eng: e, f: f, fp: f.Fingerprint(), cfg: base}
+	if err := p.selectFeatures(ctx, cfg.MaxUnivariate); err != nil {
+		return nil, nil, err
+	}
+	if len(p.features) == 0 {
 		return nil, nil, fmt.Errorf("gef: forest has no split nodes to explain")
 	}
 
-	smp := base.Sampling
-	if smp.Seed == 0 {
-		smp.Seed = base.Seed + 1
+	// The domains stage walks the drop-feature ladder for degenerate
+	// domains, so the search degrades like ExplainCtx instead of
+	// aborting; any simplifications surface in Explanation.Degradations.
+	if err := p.buildDomains(ctx); err != nil {
+		return nil, nil, err
 	}
-	if smp.CategoricalThreshold == 0 {
-		smp.CategoricalThreshold = base.CategoricalThreshold
+	if err := p.buildSample(ctx); err != nil {
+		return nil, nil, err
 	}
-	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
-	if err != nil {
-		return nil, nil, robust.CtxErr(err)
-	}
-	dstar, err := sampling.GenerateCtx(ctx, f, domains, base.NumSamples, base.Seed+2)
-	if err != nil {
-		return nil, nil, robust.CtxErr(err)
-	}
-	train, test := dstar.Split(base.TestFraction, base.Seed+3)
+	features := p.features
+	train, test := p.train, p.test
 
 	var pairs []featsel.Pair
 	if cfg.MaxInteractions > 0 && len(features) >= 2 {
-		var sample [][]float64
-		if base.InteractionStrategy == featsel.HStat {
-			n := base.HStatSample
-			if n > len(train.X) {
-				n = len(train.X)
-			}
-			sample = train.X[:n]
-		}
-		pairs, err = featsel.RankInteractionsCtx(ctx, f, features, base.InteractionStrategy, sample)
+		var err error
+		pairs, err = p.rankInteractions(ctx)
 		if err != nil {
-			return nil, nil, robust.CtxErr(err)
+			return nil, nil, err
 		}
 	}
 
 	// fit builds and fits the candidate with ns splines and ni tensor
 	// terms (heredity: pairs restricted to the first ns features).
+	h0, m0 := e.basis.Counters()
 	fit := func(ns, ni int) (*gam.Model, []featsel.Pair, float64, error) {
 		cctx, csp := obs.Start(ctx, "auto.candidate",
 			obs.Int("splines", ns), obs.Int("interactions", ni))
@@ -135,19 +139,19 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 		for _, ft := range sel {
 			inSel[ft] = true
 		}
-		for _, p := range pairs {
+		for _, pr := range pairs {
 			if len(selPairs) == ni {
 				break
 			}
-			if inSel[p.I] && inSel[p.J] {
-				selPairs = append(selPairs, p)
+			if inSel[pr.I] && inSel[pr.J] {
+				selPairs = append(selPairs, pr)
 			}
 		}
-		spec, err := buildSpec(f, sel, selPairs, base)
+		spec, err := buildSpec(f, p.stats.thresholds, sel, selPairs, base)
 		if err != nil {
 			return nil, nil, 0, err
 		}
-		m, err := gam.FitCtx(cctx, spec, train.X, train.Y, base.GAM)
+		m, err := gam.FitCache(cctx, spec, train.X, train.Y, base.GAM, e.basis)
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -155,6 +159,10 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 		csp.Set(obs.F64("rmse", rmse))
 		return m, selPairs, rmse, nil
 	}
+	defer func() {
+		h1, m1 := e.basis.Counters()
+		e.addStage("fit", h1-h0, m1-m0)
+	}()
 
 	var trace []AutoStep
 	bestModel, bestPairs, bestRMSE, err := fit(1, 0)
@@ -207,19 +215,20 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 	chosen := base
 	chosen.NumUnivariate = ns
 	chosen.NumInteractions = ni
-	e := &Explanation{
-		Model:    bestModel,
-		Features: append([]int(nil), features[:ns]...),
-		Pairs:    bestPairs,
-		Domains:  domains,
-		Train:    train,
-		Test:     test,
-		Forest:   f,
-		Config:   chosen,
+	ex := &Explanation{
+		Model:        bestModel,
+		Features:     append([]int(nil), features[:ns]...),
+		Pairs:        bestPairs,
+		Domains:      p.domains,
+		Train:        train,
+		Test:         test,
+		Forest:       f,
+		Config:       chosen,
+		Degradations: p.degr,
 	}
 	pred := bestModel.PredictBatch(test.X)
-	e.Fidelity = Fidelity{RMSE: bestRMSE, R2: stats.R2(pred, test.Y)}
-	return e, trace, nil
+	ex.Fidelity = Fidelity{RMSE: bestRMSE, R2: stats.R2(pred, test.Y)}
+	return ex, trace, nil
 }
 
 // relImprovement returns the relative RMSE reduction from old to new

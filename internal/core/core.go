@@ -190,16 +190,23 @@ type Explanation struct {
 	Degradations []robust.Degradation
 }
 
-// Explain runs the full GEF pipeline on the forest.
+// Explain runs the full GEF pipeline on the forest through the shared
+// process-wide engine (see Engine for the caching semantics).
 func Explain(f *forest.Forest, cfg Config) (*Explanation, error) {
-	return ExplainCtx(context.Background(), f, cfg)
+	return shared.ExplainCtx(context.Background(), f, cfg)
 }
 
 // ExplainCtx is Explain with context propagation: each pipeline stage
 // opens an obs span under the caller's span, so traces show feature
 // selection, domain construction, D* sampling/labelling, interaction
-// ranking and the GAM fit (with per-λ children) individually.
+// ranking and the GAM fit (with per-λ children) individually. Runs on
+// the shared process-wide engine; use NewEngine for an isolated cache.
 func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
+	return shared.ExplainCtx(ctx, f, cfg)
+}
+
+// ExplainCtx runs the staged pipeline through e's artifact cache.
+func (e *Engine) ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -227,70 +234,36 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gef: invalid forest: %w", err)
 	}
+	p := &pipeline{eng: e, f: f, fp: f.Fingerprint(), cfg: cfg}
 
 	// §3.2 — univariate selection F′ by accumulated gain.
 	if err := checkpoint(0); err != nil {
 		return nil, err
 	}
-	_, sel := obs.Start(ctx, "featsel.top_features")
-	features := featsel.TopFeatures(f, cfg.NumUnivariate)
-	sel.Set(obs.Int("selected", len(features)))
-	sel.End()
-	if len(features) == 0 {
+	if err := p.selectFeatures(ctx, cfg.NumUnivariate); err != nil {
+		return nil, err
+	}
+	if len(p.features) == 0 {
 		return nil, fmt.Errorf("gef: forest has no split nodes to explain: %w", robust.ErrDegenerate)
 	}
 
 	// §3.3 — sampling domains and synthetic dataset D*. Features the GAM
 	// will model as factors (|V_i| < L) always use All-Thresholds
 	// domains: within a threshold cell the forest is constant, so extra
-	// domain points only inflate the factor level count.
+	// domain points only inflate the factor level count. The domains
+	// stage owns the drop-feature ladder for collapsed domains.
 	if err := checkpoint(1); err != nil {
 		return nil, err
 	}
-	smp := cfg.Sampling
-	if smp.Seed == 0 {
-		smp.Seed = cfg.Seed + 1
-	}
-	if smp.CategoricalThreshold == 0 {
-		smp.CategoricalThreshold = cfg.CategoricalThreshold
-	}
-	var degradations []robust.Degradation
-	domains, err := sampling.BuildDomainsCtx(ctx, f, features, smp)
-	for err != nil {
-		// A feature whose threshold set is empty or collapsed is dropped
-		// from F′ (recording the degradation) and the domains are rebuilt
-		// with the survivors; any other failure aborts. The loop is
-		// bounded: every pass removes exactly one feature.
-		var fe *robust.FeatureError
-		if !errors.As(err, &fe) || !errors.Is(err, robust.ErrDegenerate) {
-			return nil, robust.CtxErr(err)
-		}
-		kept := features[:0]
-		for _, j := range features {
-			if j != fe.Feature {
-				kept = append(kept, j)
-			}
-		}
-		features = kept
-		if len(features) == 0 {
-			return nil, fmt.Errorf("gef: every selected feature has a degenerate sampling domain: %w", err)
-		}
-		robust.Record(ctx, &degradations, robust.Degradation{
-			Stage:  "sampling",
-			Action: robust.ActionDropFeature,
-			Reason: fe.Err.Error(),
-			Detail: fmt.Sprintf("feature %d dropped from F′", fe.Feature),
-		})
-		domains, err = sampling.BuildDomainsCtx(ctx, f, features, smp)
+	if err := p.buildDomains(ctx); err != nil {
+		return nil, err
 	}
 	if err := checkpoint(2); err != nil {
 		return nil, err
 	}
-	dstar, err := sampling.GenerateCtx(ctx, f, domains, cfg.NumSamples, cfg.Seed+2)
-	if err != nil {
-		return nil, robust.CtxErr(err)
+	if err := p.buildSample(ctx); err != nil {
+		return nil, err
 	}
-	train, test := dstar.Split(cfg.TestFraction, cfg.Seed+3)
 
 	// §3.4 — interaction selection F″ (independent of D*, except H-Stat
 	// which needs a data sample).
@@ -299,29 +272,26 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	}
 	var pairs []featsel.Pair
 	if len(cfg.ForcedPairs) > 0 {
-		for _, p := range cfg.ForcedPairs {
-			a, b := p[0], p[1]
+		for _, fp := range cfg.ForcedPairs {
+			a, b := fp[0], fp[1]
 			if a > b {
 				a, b = b, a
 			}
 			if a == b || a < 0 || b >= f.NumFeatures {
-				return nil, fmt.Errorf("gef: invalid forced pair %v: %w", p, robust.ErrConfig)
+				return nil, fmt.Errorf("gef: invalid forced pair %v: %w", fp, robust.ErrConfig)
 			}
 			pairs = append(pairs, featsel.Pair{I: a, J: b})
 		}
-	} else if cfg.NumInteractions > 0 && len(features) >= 2 {
-		var sample [][]float64
-		if cfg.InteractionStrategy == featsel.HStat {
-			n := cfg.HStatSample
-			if n > len(train.X) {
-				n = len(train.X)
-			}
-			sample = train.X[:n]
-		}
-		pairs, err = featsel.TopPairsCtx(ctx, f, features, cfg.InteractionStrategy, sample, cfg.NumInteractions)
+	} else if cfg.NumInteractions > 0 && len(p.features) >= 2 {
+		ranking, err := p.rankInteractions(ctx)
 		if err != nil {
-			return nil, robust.CtxErr(err)
+			return nil, err
 		}
+		k := cfg.NumInteractions
+		if k > len(ranking) {
+			k = len(ranking)
+		}
+		pairs = append([]featsel.Pair(nil), ranking[:k]...)
 	}
 
 	// §3.5 — build the GAM spec and fit Γ on D*, degrading structurally
@@ -329,36 +299,56 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	if err := checkpoint(4); err != nil {
 		return nil, err
 	}
-	spec, err := buildSpec(f, features, pairs, cfg)
-	if err != nil {
-		return nil, err
-	}
-	model, err := fitLadder(ctx, spec, train, cfg.GAM, &degradations)
+	model, err := p.fitModel(ctx, pairs, cfg.GAM)
 	if err != nil {
 		return nil, fmt.Errorf("gef: fitting the explanation GAM: %w", err)
 	}
 
-	e := &Explanation{
+	ex := &Explanation{
 		Model:        model,
-		Features:     features,
+		Features:     p.features,
 		Pairs:        pairs,
-		Domains:      domains,
-		Train:        train,
-		Test:         test,
+		Domains:      p.domains,
+		Train:        p.train,
+		Test:         p.test,
 		Forest:       f,
 		Config:       cfg,
-		Degradations: degradations,
+		Degradations: p.degr,
 	}
-	_, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(test.X)))
-	pred := model.PredictBatch(test.X)
-	e.Fidelity = Fidelity{
-		RMSE: stats.RMSE(pred, test.Y),
-		R2:   stats.R2(pred, test.Y),
+	_, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(p.test.X)))
+	pred := model.PredictBatch(p.test.X)
+	ex.Fidelity = Fidelity{
+		RMSE: stats.RMSE(pred, p.test.Y),
+		R2:   stats.R2(pred, p.test.Y),
 	}
-	fsp.Set(obs.F64("rmse", e.Fidelity.RMSE), obs.F64("r2", e.Fidelity.R2))
+	fsp.Set(obs.F64("rmse", ex.Fidelity.RMSE), obs.F64("r2", ex.Fidelity.R2))
 	fsp.End()
-	root.Set(obs.F64("rmse", e.Fidelity.RMSE), obs.F64("r2", e.Fidelity.R2))
-	return e, nil
+	root.Set(obs.F64("rmse", ex.Fidelity.RMSE), obs.F64("r2", ex.Fidelity.R2))
+	return ex, nil
+}
+
+// fitModel runs the fit stage over the pipeline's current features and
+// the given pairs. Fitted models are never cached (empty stage key);
+// the stage's hit/miss numbers surface the basis/penalty reuse inside
+// the engine's gam.BasisCache instead.
+func (p *pipeline) fitModel(ctx context.Context, pairs []featsel.Pair, opt gam.Options) (*gam.Model, error) {
+	h0, m0 := p.eng.basis.Counters()
+	v, err := p.eng.runStage(ctx, p, stage{
+		name: "fit",
+		run: func(ctx context.Context, p *pipeline) (any, error) {
+			spec, serr := buildSpec(p.f, p.stats.thresholds, p.features, pairs, p.cfg)
+			if serr != nil {
+				return nil, serr
+			}
+			return fitLadder(ctx, spec, p.train, opt, &p.degr, p.eng.basis)
+		},
+	})
+	h1, m1 := p.eng.basis.Counters()
+	p.eng.addStage("fit", h1-h0, m1-m0)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*gam.Model), nil
 }
 
 // fitLadder fits spec, walking the structural degradation ladder when
@@ -367,9 +357,9 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 // minimal-basis main-effects fit. Each rung is recorded in degradations;
 // deadline/cancellation and degenerate-input errors abort immediately —
 // a simpler model cannot repair those classes.
-func fitLadder(ctx context.Context, spec gam.Spec, train *dataset.Dataset, opt gam.Options, degradations *[]robust.Degradation) (*gam.Model, error) {
+func fitLadder(ctx context.Context, spec gam.Spec, train *dataset.Dataset, opt gam.Options, degradations *[]robust.Degradation, cache *gam.BasisCache) (*gam.Model, error) {
 	for {
-		model, err := gam.FitCtx(ctx, spec, train.X, train.Y, opt)
+		model, err := gam.FitCache(ctx, spec, train.X, train.Y, opt, cache)
 		if err == nil {
 			return model, nil
 		}
@@ -457,9 +447,9 @@ func degrade(spec gam.Spec) (next gam.Spec, d robust.Degradation, ok bool) {
 // buildSpec assembles the GAM structure: a spline term per selected
 // feature — or a factor term when the forest's threshold count marks the
 // feature as categorical (paper heuristic |V_i| < L) — plus a tensor term
-// per selected pair.
-func buildSpec(f *forest.Forest, features []int, pairs []featsel.Pair, cfg Config) (gam.Spec, error) {
-	thresholds := f.ThresholdsByFeature()
+// per selected pair. thresholds is the stats stage's cached
+// forest.ThresholdsByFeature map (read only).
+func buildSpec(f *forest.Forest, thresholds map[int][]float64, features []int, pairs []featsel.Pair, cfg Config) (gam.Spec, error) {
 	spec := gam.Spec{Link: gam.Identity}
 	if f.Objective == forest.BinaryLogistic {
 		spec.Link = gam.Logit

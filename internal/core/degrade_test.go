@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gef/internal/gam"
+	"gef/internal/robust"
+)
+
+// TestDegradeLadderOrder walks degrade() from a full spec to exhaustion
+// and asserts the exact rung order of the structural ladder: drop the
+// tensor terms, halve the spline bases, fall back to the minimal
+// main-effects fit, then give up.
+func TestDegradeLadderOrder(t *testing.T) {
+	spec := gam.Spec{Terms: []gam.TermSpec{
+		{Kind: gam.Spline, Feature: 0, NumBasis: 12},
+		{Kind: gam.Spline, Feature: 1, NumBasis: 12},
+		{Kind: gam.Factor, Feature: 2},
+		{Kind: gam.Tensor, Feature: 0, Feature2: 1, NumBasis: 6},
+		{Kind: gam.Tensor, Feature: 0, Feature2: 2, NumBasis: 6},
+	}}
+	want := []struct {
+		action string
+		detail string
+	}{
+		{robust.ActionDropTensors, "2 tensor terms removed"},
+		{robust.ActionShrinkBases, "spline bases halved (max 12 → 6)"},
+		{robust.ActionMainEffects, "minimal main-effects fit (basis 4)"},
+	}
+	for i, w := range want {
+		next, d, ok := degrade(spec)
+		if !ok {
+			t.Fatalf("rung %d: ladder ended early (want %s)", i, w.action)
+		}
+		if d.Action != w.action {
+			t.Fatalf("rung %d: action %q, want %q", i, d.Action, w.action)
+		}
+		if d.Detail != w.detail {
+			t.Errorf("rung %d: detail %q, want %q", i, d.Detail, w.detail)
+		}
+		if d.Stage != "gam" {
+			t.Errorf("rung %d: stage %q, want \"gam\"", i, d.Stage)
+		}
+		spec = next
+	}
+	if _, _, ok := degrade(spec); ok {
+		t.Error("ladder did not exhaust after the main-effects rung")
+	}
+	// The terminal spec: factor untouched, splines at minBasis, no tensors.
+	for _, term := range spec.Terms {
+		switch term.Kind {
+		case gam.Tensor:
+			t.Errorf("tensor term survived the ladder: %+v", term)
+		case gam.Spline:
+			if term.NumBasis != minBasis {
+				t.Errorf("spline basis %d, want %d", term.NumBasis, minBasis)
+			}
+		}
+	}
+}
+
+// TestFitLadderRecordsRungs drives fitLadder with an injector that
+// fails the first two fit ordinals (the full spec and the tensor-free
+// refit): the ladder must record exactly [drop_tensors, shrink_bases]
+// in that order, and the third attempt succeeds.
+func TestFitLadderRecordsRungs(t *testing.T) {
+	f := gprimeForest(t)
+	cfg := engineCfg()
+	robust.SetInjector(robust.NewInjector(1,
+		robust.FailAlways(robust.SiteCholesky, 0),
+		robust.FailAlways(robust.SiteCholesky, 1)))
+	defer robust.SetInjector(nil)
+
+	e, err := NewEngine().Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain under injection: %v", err)
+	}
+	var actions []string
+	for _, d := range e.Degradations {
+		if d.Stage == "gam" {
+			actions = append(actions, d.Action)
+		}
+	}
+	want := []string{robust.ActionDropTensors, robust.ActionShrinkBases}
+	if strings.Join(actions, ",") != strings.Join(want, ",") {
+		t.Fatalf("recorded rungs %v, want %v", actions, want)
+	}
+	for _, d := range e.Degradations {
+		if d.Stage == "gam" && d.Reason == "" {
+			t.Errorf("rung %s recorded without a reason", d.Action)
+		}
+	}
+}

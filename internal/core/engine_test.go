@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"gef/internal/robust"
+)
+
+// engineCfg is a fast pipeline configuration for cache tests.
+func engineCfg() Config {
+	cfg := quickCfg()
+	cfg.NumSamples = 3000
+	cfg.NumInteractions = 1
+	return cfg
+}
+
+func marshalModel(t *testing.T, e *Explanation) []byte {
+	t.Helper()
+	b, err := e.Model.Marshal(true)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestEngineWarmExplainBitwiseIdentical is the tentpole contract: a
+// second Explain with the same forest and config is served from the
+// cache (every cacheable stage hits) and produces bitwise-identical
+// output.
+func TestEngineWarmExplainBitwiseIdentical(t *testing.T) {
+	f := gprimeForest(t)
+	eng := NewEngine()
+	cold, err := eng.Explain(f, engineCfg())
+	if err != nil {
+		t.Fatalf("cold Explain: %v", err)
+	}
+	st := eng.CacheStats()
+	for _, name := range []string{"stats", "featsel", "domains", "sample", "interactions"} {
+		if st.Stages[name].Hits != 0 {
+			t.Errorf("cold run recorded %d hits for stage %q", st.Stages[name].Hits, name)
+		}
+		if st.Stages[name].Misses == 0 {
+			t.Errorf("cold run recorded no miss for stage %q", name)
+		}
+	}
+
+	warm, err := eng.Explain(f, engineCfg())
+	if err != nil {
+		t.Fatalf("warm Explain: %v", err)
+	}
+	st = eng.CacheStats()
+	for _, name := range []string{"stats", "featsel", "domains", "sample", "interactions"} {
+		if st.Stages[name].Hits == 0 {
+			t.Errorf("warm run recorded no hit for stage %q", name)
+		}
+		if st.Stages[name].Misses != 1 {
+			t.Errorf("stage %q misses = %d, want 1", name, st.Stages[name].Misses)
+		}
+	}
+	if !bytes.Equal(marshalModel(t, cold), marshalModel(t, warm)) {
+		t.Error("warm-cache model differs from cold-cache model")
+	}
+	if cold.Fidelity != warm.Fidelity {
+		t.Errorf("fidelity differs: %+v vs %+v", cold.Fidelity, warm.Fidelity)
+	}
+	if len(st.String()) == 0 || st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("implausible stats: %+v", st)
+	}
+}
+
+// TestEngineWarmAutoExplain: a warm AutoExplain skips straight to the
+// candidate fits — every shared stage hits — and returns a
+// bitwise-identical model (the acceptance criterion of ISSUE 5).
+func TestEngineWarmAutoExplain(t *testing.T) {
+	f := gprimeForest(t)
+	acfg := AutoConfig{Base: engineCfg(), MaxUnivariate: 4, MaxInteractions: 1}
+	eng := NewEngine()
+	cold, coldTrace, err := eng.AutoExplain(f, acfg)
+	if err != nil {
+		t.Fatalf("cold AutoExplain: %v", err)
+	}
+	warm, warmTrace, err := eng.AutoExplain(f, acfg)
+	if err != nil {
+		t.Fatalf("warm AutoExplain: %v", err)
+	}
+	st := eng.CacheStats()
+	if st.Hits == 0 {
+		t.Fatal("warm AutoExplain recorded no cache hits")
+	}
+	for _, name := range []string{"stats", "featsel", "domains", "sample", "interactions"} {
+		if st.Stages[name].Hits == 0 {
+			t.Errorf("warm AutoExplain: no hit for stage %q", name)
+		}
+	}
+	if st.Stages["fit"].Hits == 0 {
+		t.Error("candidate fits recorded no basis-cache hits")
+	}
+	if !bytes.Equal(marshalModel(t, cold), marshalModel(t, warm)) {
+		t.Error("warm AutoExplain model differs from cold")
+	}
+	if len(coldTrace) != len(warmTrace) {
+		t.Fatalf("trace length differs: %d vs %d", len(coldTrace), len(warmTrace))
+	}
+	for i := range coldTrace {
+		if coldTrace[i] != warmTrace[i] {
+			t.Errorf("trace step %d differs: %+v vs %+v", i, coldTrace[i], warmTrace[i])
+		}
+	}
+}
+
+// TestEngineSharesAcrossConfigs: configs that differ only downstream
+// still share the per-forest stats/featsel artifacts.
+func TestEngineSharesAcrossConfigs(t *testing.T) {
+	f := gprimeForest(t)
+	eng := NewEngine()
+	if _, err := eng.Explain(f, engineCfg()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineCfg()
+	cfg.NumUnivariate = 3 // different F′ prefix: domains/sample must miss
+	if _, err := eng.Explain(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Stages["stats"].Hits == 0 || st.Stages["featsel"].Hits == 0 {
+		t.Errorf("per-forest stages did not hit across configs: %+v", st.Stages)
+	}
+	if st.Stages["domains"].Misses != 2 {
+		t.Errorf("domains misses = %d, want 2 (distinct F′)", st.Stages["domains"].Misses)
+	}
+}
+
+// TestEngineBudgetEviction: the cache respects its byte budget — a tiny
+// budget stays within bounds (large artifacts are simply not retained)
+// and results remain identical to an uncached engine.
+func TestEngineBudgetEviction(t *testing.T) {
+	f := gprimeForest(t)
+	small := NewEngineBudget(4096)
+	a, err := small.Explain(f, engineCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := small.CacheStats(); st.Bytes > 4096 {
+		t.Errorf("cache holds %d bytes, budget 4096", st.Bytes)
+	}
+	b, err := small.Explain(f, engineCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalModel(t, a), marshalModel(t, b)) {
+		t.Error("budget-limited engine produced differing runs")
+	}
+
+	off := NewEngineBudget(0)
+	c, err := off.Explain(f, engineCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := off.CacheStats(); st.Entries != 0 || st.Stages["sample"].Hits != 0 {
+		t.Errorf("budget 0 engine cached anyway: %+v", st)
+	}
+	if !bytes.Equal(marshalModel(t, a), marshalModel(t, c)) {
+		t.Error("uncached engine output differs")
+	}
+}
+
+// TestEngineInjectionBypass: with a fault injector installed the engine
+// must not serve cached artifacts — otherwise a warm cache would mask
+// the very computations a fault plan targets.
+func TestEngineInjectionBypass(t *testing.T) {
+	f := gprimeForest(t)
+	eng := NewEngine()
+	if _, err := eng.Explain(f, engineCfg()); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.CacheStats()
+
+	// Empty plan: nothing fires, but the injector is installed.
+	robust.SetInjector(robust.NewInjector(1))
+	defer robust.SetInjector(nil)
+	if _, err := eng.Explain(f, engineCfg()); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.CacheStats()
+	// The fit stage's basis cache stays live under injection (bases are
+	// pure values, no injection site fires inside them); the artifact
+	// stages must neither hit nor count misses.
+	for _, name := range []string{"stats", "featsel", "domains", "sample", "interactions"} {
+		if after.Stages[name] != before.Stages[name] {
+			t.Errorf("stage %q touched the artifact cache under injection: %+v → %+v",
+				name, before.Stages[name], after.Stages[name])
+		}
+	}
+}

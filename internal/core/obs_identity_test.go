@@ -15,9 +15,12 @@ func TestExplainObservationIdentity(t *testing.T) {
 	f := gprimeForest(t)
 	cfg := quickCfg()
 
-	// Baseline: no sink (the seed-equivalent configuration).
+	// Baseline: no sink (the seed-equivalent configuration). Each run
+	// gets a fresh engine so both execute the full pipeline — a shared
+	// cache would serve the second run's stages as hits and elide the
+	// inner stage spans this test asserts on.
 	obs.SetSink(nil)
-	base, err := Explain(f, cfg)
+	base, err := NewEngine().Explain(f, cfg)
 	if err != nil {
 		t.Fatalf("baseline Explain: %v", err)
 	}
@@ -30,7 +33,7 @@ func TestExplainObservationIdentity(t *testing.T) {
 	ms := obs.NewMemorySink()
 	obs.SetSink(ms)
 	defer obs.SetSink(nil)
-	traced, err := Explain(f, cfg)
+	traced, err := NewEngine().Explain(f, cfg)
 	if err != nil {
 		t.Fatalf("traced Explain: %v", err)
 	}
@@ -65,6 +68,8 @@ func TestExplainObservationIdentity(t *testing.T) {
 	for _, want := range []string{
 		"gef.explain", "featsel.top_features", "sampling.build_domains",
 		"sampling.generate", "gam.fit", "gam.gcv", "gef.fidelity",
+		"engine.stats", "engine.featsel", "engine.domains",
+		"engine.sample", "engine.fit",
 	} {
 		if seen[want] == 0 {
 			t.Errorf("no %q span emitted (saw %v)", want, seen)

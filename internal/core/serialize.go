@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"gef/internal/featsel"
+	"gef/internal/gam"
+	"gef/internal/obs"
+	"gef/internal/robust"
+	"gef/internal/sampling"
+)
+
+// explanationFormatVersion guards the Explanation JSON layout; bump it
+// on any incompatible change so old artifacts fail loudly instead of
+// deserializing garbage.
+const explanationFormatVersion = 1
+
+// explanationJSON is the serialized form of an Explanation. The forest
+// and the D* splits are deliberately omitted: the forest is the input
+// the caller already owns (and D* is reproducible from Config.Seed),
+// while the fitted model, the selected structure, the sampling domains
+// and the degradation record are the explanation itself.
+type explanationJSON struct {
+	Version      int                  `json:"version"`
+	Model        json.RawMessage      `json:"model"`
+	Features     []int                `json:"features"`
+	Pairs        []featsel.Pair       `json:"pairs,omitempty"`
+	Domains      *sampling.Domains    `json:"domains,omitempty"`
+	Fidelity     Fidelity             `json:"fidelity"`
+	Config       Config               `json:"config"`
+	Degradations []robust.Degradation `json:"degradations,omitempty"`
+}
+
+// Marshal serializes the explanation to JSON. includeCI is forwarded to
+// the GAM model serializer: with it the penalized Cholesky factor is
+// embedded so credible intervals survive the round trip, at O(p²/2)
+// floats of extra payload. Forest, Train and Test are not serialized —
+// see Unmarshal for what a reloaded explanation can and cannot do.
+func (e *Explanation) Marshal(includeCI bool) ([]byte, error) {
+	_, sp := obs.Start(context.Background(), "gef.marshal_explanation",
+		obs.Int("features", len(e.Features)), obs.Int("pairs", len(e.Pairs)),
+		obs.Bool("include_ci", includeCI))
+	defer sp.End()
+	if e.Model == nil {
+		return nil, fmt.Errorf("gef: cannot marshal an explanation without a model")
+	}
+	mb, err := e.Model.Marshal(includeCI)
+	if err != nil {
+		return nil, fmt.Errorf("gef: marshaling explanation model: %w", err)
+	}
+	return json.Marshal(explanationJSON{
+		Version:      explanationFormatVersion,
+		Model:        mb,
+		Features:     e.Features,
+		Pairs:        e.Pairs,
+		Domains:      e.Domains,
+		Fidelity:     e.Fidelity,
+		Config:       e.Config,
+		Degradations: e.Degradations,
+	})
+}
+
+// Unmarshal reconstructs an explanation serialized by Marshal. The
+// result predicts, explains instances and reports its structure,
+// fidelity and degradations; Forest, Train and Test are nil, so methods
+// needing them (EvaluateOn, ExplainInstance's forest cross-check) must
+// not be called on a reloaded explanation.
+func Unmarshal(data []byte) (*Explanation, error) {
+	_, sp := obs.Start(context.Background(), "gef.unmarshal_explanation",
+		obs.Int("bytes", len(data)))
+	defer sp.End()
+	var ej explanationJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return nil, fmt.Errorf("gef: parsing explanation JSON: %w", err)
+	}
+	if ej.Version != explanationFormatVersion {
+		return nil, fmt.Errorf("gef: explanation format version %d, want %d", ej.Version, explanationFormatVersion)
+	}
+	model, err := gam.UnmarshalModel(ej.Model)
+	if err != nil {
+		return nil, fmt.Errorf("gef: reloading explanation model: %w", err)
+	}
+	return &Explanation{
+		Model:        model,
+		Features:     ej.Features,
+		Pairs:        ej.Pairs,
+		Domains:      ej.Domains,
+		Fidelity:     ej.Fidelity,
+		Config:       ej.Config,
+		Degradations: ej.Degradations,
+	}, nil
+}

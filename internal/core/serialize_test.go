@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gef/internal/robust"
+)
+
+// TestExplanationRoundTrip: Marshal → Unmarshal preserves the model's
+// predictions bitwise and every serialized structural field, including
+// the degradation record.
+func TestExplanationRoundTrip(t *testing.T) {
+	f := gprimeForest(t)
+	cfg := quickCfg()
+	cfg.NumInteractions = 1
+	e, err := NewEngine().Explain(f, cfg)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	// Degradations must survive the trip even though this run is clean.
+	e.Degradations = append(e.Degradations, robust.Degradation{
+		Stage:  "gam",
+		Action: robust.ActionDropTensors,
+		Reason: "synthetic entry for round-trip coverage",
+		Detail: "1 tensor terms removed",
+	})
+
+	data, err := e.Marshal(true)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+
+	if !reflect.DeepEqual(got.Features, e.Features) {
+		t.Errorf("Features: got %v, want %v", got.Features, e.Features)
+	}
+	if !reflect.DeepEqual(got.Pairs, e.Pairs) {
+		t.Errorf("Pairs: got %v, want %v", got.Pairs, e.Pairs)
+	}
+	if !reflect.DeepEqual(got.Degradations, e.Degradations) {
+		t.Errorf("Degradations: got %v, want %v", got.Degradations, e.Degradations)
+	}
+	if got.Fidelity != e.Fidelity {
+		t.Errorf("Fidelity: got %+v, want %+v", got.Fidelity, e.Fidelity)
+	}
+	if !reflect.DeepEqual(got.Config, e.Config) {
+		t.Errorf("Config: got %+v, want %+v", got.Config, e.Config)
+	}
+	if got.Domains == nil || !reflect.DeepEqual(got.Domains.Points, e.Domains.Points) {
+		t.Errorf("Domains did not round-trip")
+	}
+	if got.Forest != nil || got.Train != nil || got.Test != nil {
+		t.Error("Forest/Train/Test must be nil on a reloaded explanation")
+	}
+
+	// The reloaded model must predict bitwise identically.
+	for i, x := range e.Test.X[:50] {
+		want := e.Model.Predict(x)
+		if have := got.Model.Predict(x); have != want {
+			t.Fatalf("prediction %d: got %v, want %v", i, have, want)
+		}
+	}
+
+	if _, err := Unmarshal([]byte(`{"version":99,"model":{}}`)); err == nil {
+		t.Error("future format version accepted")
+	}
+}

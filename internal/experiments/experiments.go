@@ -109,6 +109,7 @@ func Registry() []Experiment {
 		// Extensions beyond the paper (see DESIGN.md ablations).
 		{ID: "extra-surrogates", Title: "GEF GAM vs distilled-tree surrogate fidelity", Run: RunExtraSurrogates},
 		{ID: "extra-auto", Title: "AutoExplain component search trace", Run: RunExtraAuto},
+		{ID: "extra-engine", Title: "Staged engine cold vs warm artifact-cache reuse", Run: RunExtraEngine},
 		{ID: "extra-rf", Title: "GEF applied to a Random Forest", Run: RunExtraRandomForest},
 	}
 }

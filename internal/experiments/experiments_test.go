@@ -12,7 +12,7 @@ import (
 func TestRegistryCoversAllPaperResults(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"extra-surrogates", "extra-auto", "extra-rf"}
+		"extra-surrogates", "extra-auto", "extra-engine", "extra-rf"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"gef/internal/core"
 	"gef/internal/distill"
@@ -88,6 +90,59 @@ func RunExtraAuto(p Params) (*Report, error) {
 	r.Notes = append(r.Notes, fmt.Sprintf(
 		"chosen: %d splines, %d interactions — fidelity RMSE %.4f, R² %.4f",
 		len(e.Features), len(e.Pairs), e.Fidelity.RMSE, e.Fidelity.R2))
+	return r, nil
+}
+
+// RunExtraEngine measures the staged engine's cross-call artifact cache:
+// the same AutoExplain search run twice on one session — cold, then warm
+// — with the per-stage hit/miss counters that show which pipeline
+// artifacts (forest stats, feature ranking, domains, D*, interaction
+// scores, B-spline bases) the second run served from memory.
+func RunExtraEngine(p Params) (*Report, error) {
+	p = p.withDefaults()
+	z := sizesFor(p.Scale)
+	f, _, _, err := gprimeForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine()
+	acfg := core.AutoConfig{
+		Base: core.Config{
+			NumSamples: z.dstarN,
+			Sampling:   sampling.Config{Strategy: sampling.EquiSize, K: z.fig4K},
+			GAM:        gam.Options{Lambdas: z.lambdas},
+			Seed:       p.Seed,
+		},
+		MaxUnivariate:   5,
+		MaxInteractions: 1,
+	}
+	var elapsed [2]time.Duration
+	for i := range elapsed {
+		start := time.Now()
+		if _, _, err := eng.AutoExplainCtx(p.Context(), f, acfg); err != nil {
+			return nil, err
+		}
+		elapsed[i] = time.Since(start)
+	}
+	stats := eng.CacheStats()
+
+	r := &Report{ID: "extra-engine", Title: "Staged engine: cold vs warm AutoExplain artifact reuse"}
+	tab := Table{Name: "per-stage artifact cache (two identical searches)", Header: []string{"stage", "hits", "misses"}}
+	names := make([]string, 0, len(stats.Stages))
+	for name := range stats.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats.Stages[name]
+		tab.AddRow(name, itoa(int(st.Hits)), itoa(int(st.Misses)))
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("cold %v vs warm %v on one session — %d hits / %d misses, %d cached artifacts",
+			elapsed[0].Round(time.Millisecond), elapsed[1].Round(time.Millisecond),
+			stats.Hits, stats.Misses, stats.Entries),
+		"the fit row counts B-spline basis/penalty reuse inside gam; the other rows cache whole pipeline artifacts")
 	return r, nil
 }
 

@@ -19,19 +19,27 @@ import (
 // order (ties broken by feature index). If fewer than k features occur in
 // the forest, all occurring features are returned.
 func TopFeatures(f *forest.Forest, k int) []int {
-	imp := f.GainImportance()
-	used := f.UsedFeatures()
-	sort.SliceStable(used, func(a, b int) bool {
+	return TopFeaturesRanked(f.GainImportance(), f.UsedFeatures(), k)
+}
+
+// TopFeaturesRanked is TopFeatures over precomputed forest statistics:
+// imp is the per-feature gain importance (forest.GainImportance) and used
+// the occurring feature set (forest.UsedFeatures). The engine caches both
+// per forest fingerprint and reuses them across Explain calls, so the
+// ranking must not walk the forest again. The inputs are not mutated.
+func TopFeaturesRanked(imp []float64, used []int, k int) []int {
+	order := append([]int(nil), used...)
+	sort.SliceStable(order, func(a, b int) bool {
 		//lint:ignore floatcmp exact tie-break in a sort comparator keeps the ordering total and deterministic
-		if imp[used[a]] != imp[used[b]] {
-			return imp[used[a]] > imp[used[b]]
+		if imp[order[a]] != imp[order[b]] {
+			return imp[order[a]] > imp[order[b]]
 		}
-		return used[a] < used[b]
+		return order[a] < order[b]
 	})
-	if k > len(used) {
-		k = len(used)
+	if k > len(order) {
+		k = len(order)
 	}
-	return append([]int(nil), used[:k]...)
+	return order[:k:k]
 }
 
 // InteractionStrategy identifies one of the paper's four pair-ranking

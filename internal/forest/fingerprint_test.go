@@ -1,0 +1,67 @@
+package forest
+
+import "testing"
+
+func fingerprintFixture() *Forest {
+	return &Forest{
+		Trees: []Tree{
+			{Nodes: []Node{
+				{Feature: 0, Threshold: 0.5, Left: 1, Right: 2, Gain: 3, Cover: 10},
+				{Left: -1, Right: -1, Value: -1, Cover: 6},
+				{Left: -1, Right: -1, Value: 2, Cover: 4},
+			}},
+			{Nodes: []Node{
+				{Feature: 1, Threshold: -0.25, Left: 1, Right: 2, Gain: 1.5, Cover: 10},
+				{Left: -1, Right: -1, Value: 0.5, Cover: 3},
+				{Left: -1, Right: -1, Value: -0.5, Cover: 7},
+			}},
+		},
+		NumFeatures: 2,
+		BaseScore:   0.125,
+		Objective:   Regression,
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fingerprintFixture(), fingerprintFixture()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical forests disagree: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if got := a.Fingerprint(); got != a.Fingerprint() {
+		t.Fatalf("fingerprint not idempotent: %s", got)
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Fatalf("fingerprint %q is not a 16-hex-digit digest", a.Fingerprint())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintFixture().Fingerprint()
+	mutations := map[string]func(*Forest){
+		"threshold":    func(f *Forest) { f.Trees[0].Nodes[0].Threshold += 1e-9 },
+		"leaf value":   func(f *Forest) { f.Trees[1].Nodes[2].Value = -0.5000001 },
+		"gain":         func(f *Forest) { f.Trees[0].Nodes[0].Gain = 3.5 },
+		"cover":        func(f *Forest) { f.Trees[0].Nodes[1].Cover = 5 },
+		"feature":      func(f *Forest) { f.Trees[1].Nodes[0].Feature = 0 },
+		"base score":   func(f *Forest) { f.BaseScore = 0 },
+		"objective":    func(f *Forest) { f.Objective = BinaryLogistic },
+		"num features": func(f *Forest) { f.NumFeatures = 3 },
+		"tree dropped": func(f *Forest) { f.Trees = f.Trees[:1] },
+	}
+	for name, mutate := range mutations {
+		f := fingerprintFixture()
+		mutate(f)
+		if f.Fingerprint() == base {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresFeatureNames(t *testing.T) {
+	f := fingerprintFixture()
+	base := f.Fingerprint()
+	f.FeatureNames = []string{"a", "b"}
+	if f.Fingerprint() != base {
+		t.Error("feature names changed the fingerprint; they label outputs only")
+	}
+}

@@ -1,0 +1,135 @@
+package gam
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gef/internal/linalg"
+)
+
+// basisKey identifies a uniform B-spline basis by its size and bit-exact
+// range. Bit patterns (not float values) key the map so -0.0/0.0 and any
+// NaN payloads cannot alias distinct bases.
+type basisKey struct {
+	m      int
+	lo, hi uint64
+}
+
+// penaltyKey identifies a per-term penalty block: the term kind plus the
+// per-axis basis size (splines/tensors) or level count (factors).
+type penaltyKey struct {
+	kind TermKind
+	m    int
+}
+
+// BasisCache memoizes B-spline basis objects and per-term penalty blocks
+// across GAM fits. Both artifact families are pure functions of their
+// keys and are treated as immutable once constructed: bases are only
+// evaluated, and penaltyMatrix copies block entries out instead of
+// mutating blocks in place — so one cache may serve concurrent fits and
+// cached objects may be shared by many fitted models.
+//
+// The engine owns one BasisCache per session; AutoExplain's candidate
+// fits and the degradation ladder's refits hit the same (m, range) bases
+// and (kind, m) blocks over and over, which is exactly the reuse the
+// cache captures. A nil *BasisCache is valid everywhere and means
+// "compute directly".
+type BasisCache struct {
+	mu        sync.Mutex
+	bases     map[basisKey]*bspline
+	penalties map[penaltyKey]*linalg.Matrix
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewBasisCache returns an empty cache.
+func NewBasisCache() *BasisCache {
+	return &BasisCache{
+		bases:     make(map[basisKey]*bspline),
+		penalties: make(map[penaltyKey]*linalg.Matrix),
+	}
+}
+
+// Counters returns the cumulative hit/miss counts (for cache-stats
+// reporting; the engine maps them onto the fit stage's metrics).
+func (c *BasisCache) Counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// basisCached returns the memoized basis for (m, lo, hi), building it on
+// first use. With a nil receiver it builds directly.
+func basisCached(c *BasisCache, m int, lo, hi float64) (*bspline, error) {
+	if c == nil {
+		return newBSpline(m, lo, hi)
+	}
+	k := basisKey{m: m, lo: math.Float64bits(lo), hi: math.Float64bits(hi)}
+	c.mu.Lock()
+	if b, ok := c.bases[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return b, nil
+	}
+	c.mu.Unlock()
+	b, err := newBSpline(m, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.bases[k] = b
+	c.mu.Unlock()
+	return b, nil
+}
+
+// penaltyBlockCached returns the memoized penalty block for (kind, m):
+// the second-difference penalty for splines, the identity for factors,
+// and the null-space-shrunk Kronecker-sum penalty for tensors (m is the
+// per-axis basis size; the block is m²×m²). The returned matrix is
+// shared — callers must only read it.
+func penaltyBlockCached(c *BasisCache, kind TermKind, m int) *linalg.Matrix {
+	if c == nil {
+		return penaltyBlock(kind, m)
+	}
+	k := penaltyKey{kind: kind, m: m}
+	c.mu.Lock()
+	if b, ok := c.penalties[k]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return b
+	}
+	c.mu.Unlock()
+	b := penaltyBlock(kind, m)
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.penalties[k] = b
+	c.mu.Unlock()
+	return b
+}
+
+// penaltyBlock builds one term's penalty block directly.
+func penaltyBlock(kind TermKind, m int) *linalg.Matrix {
+	switch kind {
+	case Factor:
+		return identityPenalty(m)
+	case Tensor:
+		block := kroneckerSum(secondDiffPenalty(m), secondDiffPenalty(m))
+		// Null-space shrinkage (mgcv's double-penalty idea): the
+		// Kronecker-sum penalty leaves bilinear — in particular
+		// marginal — functions unpenalized, so a tensor term can
+		// silently absorb its features' main effects and render the
+		// spline/tensor decomposition unidentified. A small identity
+		// component steers shared variance into the dedicated
+		// univariate terms.
+		for i := 0; i < block.Rows; i++ {
+			block.Add(i, i, tensorNullPenalty)
+		}
+		return block
+	default:
+		return secondDiffPenalty(m)
+	}
+}

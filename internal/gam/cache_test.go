@@ -1,0 +1,113 @@
+package gam
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func cacheFixture() ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(77))
+	n := 600
+	xs := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range xs {
+		a, b := rng.Float64(), rng.Float64()
+		xs[i] = []float64{a, b}
+		y[i] = a*a + 0.5*b + 0.1*a*b
+	}
+	return xs, y
+}
+
+func cacheSpec() Spec {
+	return Spec{Terms: []TermSpec{
+		{Kind: Spline, Feature: 0},
+		{Kind: Spline, Feature: 1},
+		{Kind: Tensor, Feature: 0, Feature2: 1},
+	}}
+}
+
+// TestBasisCacheBitwiseIdentical is the cache's core contract: fits
+// through a cold cache, a warm cache and no cache at all serialize to
+// the same bytes.
+func TestBasisCacheBitwiseIdentical(t *testing.T) {
+	xs, y := cacheFixture()
+	opt := Options{Lambdas: []float64{0.1, 10}}
+	bare, err := Fit(cacheSpec(), xs, y, opt)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	cache := NewBasisCache()
+	var outs [][]byte
+	for run := 0; run < 2; run++ {
+		m, err := FitCache(t.Context(), cacheSpec(), xs, y, opt, cache)
+		if err != nil {
+			t.Fatalf("FitCache run %d: %v", run, err)
+		}
+		b, err := m.Marshal(true)
+		if err != nil {
+			t.Fatalf("marshal run %d: %v", run, err)
+		}
+		outs = append(outs, b)
+	}
+	ref, err := bare.Marshal(true)
+	if err != nil {
+		t.Fatalf("marshal bare: %v", err)
+	}
+	if !bytes.Equal(ref, outs[0]) {
+		t.Error("cold cached fit differs from uncached fit")
+	}
+	if !bytes.Equal(ref, outs[1]) {
+		t.Error("warm cached fit differs from uncached fit")
+	}
+	hits, misses := cache.Counters()
+	if hits == 0 {
+		t.Errorf("warm fit recorded no cache hits (misses = %d)", misses)
+	}
+	if misses == 0 {
+		t.Error("cold fit recorded no cache misses")
+	}
+}
+
+// TestBasisCacheSharesObjects checks memoization actually shares: the
+// same (m, range) basis and (kind, m) block come back pointer-equal.
+func TestBasisCacheSharesObjects(t *testing.T) {
+	cache := NewBasisCache()
+	b1, err := basisCached(cache, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := basisCached(cache, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("identical basis keys produced distinct objects")
+	}
+	if b3, _ := basisCached(cache, 8, 0, 2); b3 == b1 {
+		t.Error("different range returned the same basis")
+	}
+	p1 := penaltyBlockCached(cache, Tensor, 6)
+	p2 := penaltyBlockCached(cache, Tensor, 6)
+	if p1 != p2 {
+		t.Error("identical penalty keys produced distinct blocks")
+	}
+	if penaltyBlockCached(cache, Spline, 6) == p1 {
+		t.Error("kinds share a penalty block")
+	}
+}
+
+// TestPenaltyBlockTensorNullSpace: cached tensor blocks must already
+// carry the null-space shrinkage (they are shared read-only, so the
+// shrinkage cannot be applied after the fact).
+func TestPenaltyBlockTensorNullSpace(t *testing.T) {
+	m := 4
+	plain := kroneckerSum(secondDiffPenalty(m), secondDiffPenalty(m))
+	shrunk := penaltyBlock(Tensor, m)
+	for i := 0; i < plain.Rows; i++ {
+		want := plain.At(i, i) + tensorNullPenalty
+		if got := shrunk.At(i, i); got != want {
+			t.Fatalf("diagonal %d: got %v, want %v", i, got, want)
+		}
+	}
+}

@@ -41,7 +41,8 @@ type design struct {
 }
 
 // buildDesign binds the spec to the data and encodes every row sparsely.
-func buildDesign(spec Spec, xs [][]float64) (*design, error) {
+// cache (nil allowed) memoizes the B-spline basis objects across fits.
+func buildDesign(spec Spec, xs [][]float64, cache *BasisCache) (*design, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("gam: empty design data")
 	}
@@ -70,7 +71,7 @@ func buildDesign(spec Spec, xs [][]float64) (*design, error) {
 				}
 				bt.spec = ts
 			}
-			bs, err := newBSpline(ts.NumBasis, lo, hi)
+			bs, err := basisCached(cache, ts.NumBasis, lo, hi)
 			if err != nil {
 				return nil, err
 			}
@@ -93,11 +94,11 @@ func buildDesign(spec Spec, xs [][]float64) (*design, error) {
 		case Tensor:
 			lo1, hi1 := columnRange(xs, ts.Feature)
 			lo2, hi2 := columnRange(xs, ts.Feature2)
-			bs1, err := newBSpline(ts.NumBasis, lo1, hi1)
+			bs1, err := basisCached(cache, ts.NumBasis, lo1, hi1)
 			if err != nil {
 				return nil, err
 			}
-			bs2, err := newBSpline(ts.NumBasis, lo2, hi2)
+			bs2, err := basisCached(cache, ts.NumBasis, lo2, hi2)
 			if err != nil {
 				return nil, err
 			}
@@ -170,29 +171,18 @@ func (d *design) encodeRow(row []float64, idxBuf []int, valBuf []float64) int {
 
 // penaltyMatrix assembles the block-diagonal penalty S over all columns:
 // zero for the intercept, second-difference for splines, identity for
-// factors and a Kronecker-sum difference penalty for tensors.
-func (d *design) penaltyMatrix() *linalg.Matrix {
+// factors and a null-space-shrunk Kronecker-sum difference penalty for
+// tensors (see penaltyBlock). cache (nil allowed) memoizes the blocks;
+// blocks are only read here, so cached blocks stay pristine.
+func (d *design) penaltyMatrix(cache *BasisCache) *linalg.Matrix {
 	s := linalg.NewMatrix(d.p, d.p)
 	for _, bt := range d.terms {
 		var block *linalg.Matrix
 		switch bt.spec.Kind {
-		case Spline:
-			block = secondDiffPenalty(bt.size)
-		case Factor:
-			block = identityPenalty(bt.size)
 		case Tensor:
-			m := bt.spec.NumBasis
-			block = kroneckerSum(secondDiffPenalty(m), secondDiffPenalty(m))
-			// Null-space shrinkage (mgcv's double-penalty idea): the
-			// Kronecker-sum penalty leaves bilinear — in particular
-			// marginal — functions unpenalized, so a tensor term can
-			// silently absorb its features' main effects and render the
-			// spline/tensor decomposition unidentified. A small identity
-			// component steers shared variance into the dedicated
-			// univariate terms.
-			for i := 0; i < block.Rows; i++ {
-				block.Add(i, i, tensorNullPenalty)
-			}
+			block = penaltyBlockCached(cache, Tensor, bt.spec.NumBasis)
+		default:
+			block = penaltyBlockCached(cache, bt.spec.Kind, bt.size)
 		}
 		for a := 0; a < bt.size; a++ {
 			for b := 0; b < bt.size; b++ {

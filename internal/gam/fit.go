@@ -74,6 +74,15 @@ func Fit(spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
 // span per λ-grid evaluation (λ, GCV, EDF, and P-IRLS iterations for the
 // logit link).
 func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Options) (*Model, error) {
+	return FitCache(ctx, spec, xs, y, opt, nil)
+}
+
+// FitCache is FitCtx with an explicit basis cache: the B-spline bases
+// and penalty blocks the fit needs are taken from (and added to) cache
+// instead of being rebuilt. The cache changes cost only, never results —
+// cached objects are bit-identical to freshly built ones — so a warm fit
+// is bitwise equal to a cold one. A nil cache degrades to FitCtx.
+func FitCache(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Options, cache *BasisCache) (*Model, error) {
 	if spec.Link == "" {
 		spec.Link = Identity
 	}
@@ -88,7 +97,7 @@ func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Opt
 	if len(xs) != len(y) {
 		return nil, fmt.Errorf("gam: %d rows but %d targets", len(xs), len(y))
 	}
-	d, err := buildDesign(spec, xs)
+	d, err := buildDesign(spec, xs, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +116,7 @@ func FitCtx(ctx context.Context, spec Spec, xs [][]float64, y []float64, opt Opt
 		}
 	}
 
-	s := d.penaltyMatrix()
+	s := d.penaltyMatrix(cache)
 	// fitKey identifies this fit invocation to the fault injector
 	// (robust.ScopeFit ordinal). FitCtx calls are sequential within a
 	// pipeline, so the ordinal — and with it every injection decision —

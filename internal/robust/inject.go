@@ -152,6 +152,12 @@ var active atomic.Pointer[Injector]
 // must restore the nil injector when done.
 func SetInjector(in *Injector) { active.Store(in) }
 
+// InjectionActive reports whether a fault injector is installed.
+// Subsystems that would mask injected faults behind memoized state (the
+// core engine's artifact cache) consult it to bypass their caches, so a
+// fault plan always exercises the real computation it targets.
+func InjectionActive() bool { return active.Load() != nil }
+
 // Fire reports whether the active plan injects a fault at (site, key,
 // level). Production fast path: no injector installed → one atomic
 // load, no allocation, always false. A true return increments the

@@ -105,12 +105,22 @@ func BuildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error
 // BuildDomainsCtx is BuildDomains under an obs span recording the
 // strategy, feature count and resulting domain sizes.
 func BuildDomainsCtx(ctx context.Context, f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
+	return BuildDomainsFromCtx(ctx, f.NumFeatures, f.ThresholdsByFeature(), selected, cfg)
+}
+
+// BuildDomainsFromCtx is BuildDomainsCtx over a precomputed threshold map
+// (forest.ThresholdsByFeature): numFeatures is the forest's input width
+// and thresholds its per-feature sorted split-threshold multisets. The
+// engine caches the threshold map per forest fingerprint, so repeated
+// domain constructions — AutoExplain candidates, sampling-strategy sweeps
+// — skip the forest walk. The map is read, never mutated.
+func BuildDomainsFromCtx(ctx context.Context, numFeatures int, thresholds map[int][]float64, selected []int, cfg Config) (*Domains, error) {
 	_, sp := obs.Start(ctx, "sampling.build_domains",
 		obs.Str("strategy", string(cfg.Strategy)),
 		obs.Int("features", len(selected)),
 		obs.Int("k", cfg.K))
 	defer sp.End()
-	d, err := buildDomains(f, selected, cfg)
+	d, err := buildDomains(numFeatures, thresholds, selected, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +135,7 @@ func BuildDomainsCtx(ctx context.Context, f *forest.Forest, selected []int, cfg 
 	return d, nil
 }
 
-func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error) {
+func buildDomains(numFeatures int, thresholds map[int][]float64, selected []int, cfg Config) (*Domains, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Strategy != AllThresholds && cfg.Strategy != Random && cfg.K < 1 {
 		return nil, fmt.Errorf("sampling: strategy %q requires K ≥ 1, got %d: %w", cfg.Strategy, cfg.K, robust.ErrConfig)
@@ -133,18 +143,17 @@ func buildDomains(f *forest.Forest, selected []int, cfg Config) (*Domains, error
 	if math.IsNaN(cfg.Epsilon) || cfg.Epsilon < 0 {
 		return nil, fmt.Errorf("sampling: Epsilon = %v is not a non-negative number: %w", cfg.Epsilon, robust.ErrConfig)
 	}
-	thresholds := f.ThresholdsByFeature()
 	d := &Domains{
-		NumFeatures: f.NumFeatures,
+		NumFeatures: numFeatures,
 		Features:    append([]int(nil), selected...),
 		Points:      make(map[int][]float64),
 		Ranges:      make(map[int][2]float64),
-		Fill:        make([]float64, f.NumFeatures),
+		Fill:        make([]float64, numFeatures),
 		Strategy:    cfg.Strategy,
 	}
 	sort.Ints(d.Features)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	for j := 0; j < f.NumFeatures; j++ {
+	for j := 0; j < numFeatures; j++ {
 		if v := thresholds[j]; len(v) > 0 {
 			d.Fill[j] = stats.QuantileSorted(v, 0.5)
 		}

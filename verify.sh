@@ -25,7 +25,10 @@ go test -count=1 -run TestFaultInjection ./...
 # goroutines, touch sync/atomic primitives, or import the internal/par
 # worker-pool runtime is re-run under the race detector. The set is
 # discovered by scanning, not hard-coded, so new concurrent (or newly
-# parallelized) code is raced automatically.
+# parallelized) code is raced automatically. In particular the sync.Mutex
+# in internal/core's engine artifact cache keeps internal/core (and the
+# root package, whose session tests share one engine across calls) in
+# the raced set.
 race_pkgs=$(grep -rl --include='*.go' --exclude-dir=testdata \
 	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"|"gef/internal/robust"' . |
 	xargs -r -n1 dirname | sort -u)
