@@ -239,3 +239,63 @@ func BenchmarkFullGEFPipeline(b *testing.B) {
 		}
 	}
 }
+
+// --- Telemetry overhead -------------------------------------------------
+
+// BenchmarkFlightRecorderOverhead measures the cost Span.End pays to
+// store a record in the always-on flight recorder. The result feeds the
+// obs.flight_record_ns gauge in BENCH_obs.json; the <100 ns/span budget
+// is gated by TestRecorderOverheadGate in internal/obs.
+// Each op records a 1024-span batch so the per-span figure stays stable
+// even under the BENCH_obs.json refresh's -benchtime 1x.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	r := obs.NewRecorder(obs.DefaultFlightCapacity)
+	sp := obs.SpanData{Name: "bench.span"}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			r.RecordSpan(&sp)
+		}
+	}
+	b.StopTimer()
+	obs.SetGauge("obs.flight_record_ns", float64(b.Elapsed().Nanoseconds())/float64(b.N*batch))
+}
+
+// BenchmarkWritePrometheus1k measures the /metrics exposition cost at
+// serving scale: 1000 labeled series rendered to the text format. The
+// per-scrape cost lands in the obs.prom_write_1k_us gauge.
+func BenchmarkWritePrometheus1k(b *testing.B) {
+	reg := obs.NewRegistry()
+	vec := reg.CounterVec("bench.series", "shard", "stage")
+	stages := []string{"featsel", "domains", "sample", "fit"}
+	for s := 0; s < 250; s++ {
+		for _, st := range stages {
+			vec.With(fmt.Sprintf("s%03d", s), st).Inc()
+		}
+	}
+	var sink countingWriter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = 0
+		if err := reg.WritePrometheus(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("exposition wrote nothing")
+	}
+	obs.SetGauge("obs.prom_write_1k_us", float64(b.Elapsed().Microseconds())/float64(b.N))
+}
+
+// countingWriter discards output while counting bytes, so the benchmark
+// measures encoding cost rather than I/O.
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}

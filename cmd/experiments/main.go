@@ -96,6 +96,14 @@ func main() {
 		r, err := e.Run(p)
 		elapsed := sp.End()
 		if err != nil {
+			// Persist the flight recorder before exiting: os.Exit skips the
+			// deferred obs cleanup, and a failed experiment is exactly what
+			// the ring is for.
+			if path, derr := ocli.DumpFlight("experiments"); derr != nil {
+				fmt.Fprintf(os.Stderr, "experiments: flight dump failed: %v\n", derr)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: flight recorder dumped to %s (inspect with gef -flight-dump %s)\n", path, path)
+			}
 			if err = robust.CtxErr(err); errors.Is(err, robust.ErrDeadline) {
 				fmt.Fprintf(os.Stderr, "experiments: %s failed: %v (deadline hit — raise -timeout or use -scale quick)\n", id, err)
 			} else {

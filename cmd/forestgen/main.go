@@ -20,6 +20,7 @@ import (
 	"gef/internal/dataset"
 	"gef/internal/forest"
 	"gef/internal/gbdt"
+	"gef/internal/obs"
 	"gef/internal/par"
 	"gef/internal/robust"
 	"gef/internal/stats"
@@ -39,9 +40,17 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
 		timeout = flag.Duration("timeout", 0, "abort training after this duration (0 = no deadline), e.g. 90s or 5m")
 	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
 
+	stopObs, err := ocli.Start("forestgen")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "forestgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopObs()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -65,6 +74,13 @@ func main() {
 	}
 	f, rep, err := gbdt.TrainValidCtx(ctx, train, valid, params)
 	if err != nil {
+		// os.Exit skips the deferred obs cleanup; persist the flight
+		// recorder so the failed training run can be replayed.
+		if path, derr := ocli.DumpFlight("forestgen"); derr != nil {
+			fmt.Fprintf(os.Stderr, "forestgen: flight dump failed: %v\n", derr)
+		} else {
+			fmt.Fprintf(os.Stderr, "forestgen: flight recorder dumped to %s (inspect with gef -flight-dump %s)\n", path, path)
+		}
 		if err = robust.CtxErr(err); errors.Is(err, robust.ErrDeadline) {
 			fmt.Fprintf(os.Stderr, "forestgen: training: %v (deadline hit — raise -timeout or lower -trees)\n", err)
 		} else {

@@ -14,6 +14,9 @@
 //
 //	gef -forest forest.json -trace - -v        # JSONL trace + human progress
 //	gef -forest forest.json -metrics-out m.json -cpuprofile cpu.pprof
+//	gef -forest forest.json -trace t.json -trace-format chrome   # chrome://tracing
+//	gef -forest forest.json -obs-listen localhost:9090           # /metrics /healthz /flight
+//	gef -flight-dump gef-flight.json           # pretty-print a dump-on-error ring
 package main
 
 import (
@@ -54,12 +57,22 @@ func main() {
 		saveModel    = flag.String("save-model", "", "write the fitted GAM to this JSON file")
 		workers      = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any count")
 		timeout      = flag.Duration("timeout", 0, "abort the pipeline after this duration (0 = no deadline), e.g. 90s or 5m")
+		flightDump   = flag.String("flight-dump", "", "pretty-print a flight-recorder snapshot (written by -flight-out or a dump-on-error) and exit")
 	)
-	var ocli obs.CLI
 	ocli.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	par.SetWorkers(*workers)
 
+	if *flightDump != "" {
+		s, err := obs.ReadFlightFile(*flightDump)
+		if err != nil {
+			fatal("reading flight dump: %v", err)
+		}
+		if err := obs.WriteFlightText(os.Stdout, s); err != nil {
+			fatal("printing flight dump: %v", err)
+		}
+		return
+	}
 	if *forestPath == "" {
 		fmt.Fprintln(os.Stderr, "gef: -forest is required")
 		flag.Usage()
@@ -136,6 +149,13 @@ func main() {
 		fmt.Printf("WARNING: the explanation was degraded %d time(s) to survive failures:\n", len(e.Degradations))
 		for _, d := range e.Degradations {
 			fmt.Printf("  - %s: %s\n", d, d.Reason)
+		}
+		// A degraded run is the exact case the flight recorder exists for:
+		// persist the ring so the ladder can be replayed post-hoc.
+		if path, derr := ocli.DumpFlight("gef"); derr != nil {
+			fmt.Fprintf(os.Stderr, "gef: flight dump failed: %v\n", derr)
+		} else {
+			fmt.Printf("  flight recorder dumped to %s (inspect with gef -flight-dump %s)\n", path, path)
 		}
 	}
 	fmt.Printf("fidelity on held-out D*: RMSE %.4f, R² %.4f\n", e.Fidelity.RMSE, e.Fidelity.R2)
@@ -241,14 +261,24 @@ func linspace(lo, hi float64, n int) []float64 {
 	return out
 }
 
+// ocli is package-level so fatalTyped can dump the flight recorder on
+// its way out (os.Exit bypasses the deferred obs cleanup).
+var ocli obs.CLI
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "gef: "+format+"\n", args...)
 	os.Exit(1)
 }
 
 // fatalTyped maps the robust error taxonomy to actionable CLI messages
-// before exiting.
+// before exiting. The flight recorder is dumped first — a typed pipeline
+// failure is precisely the post-mortem the ring exists for.
 func fatalTyped(what string, err error) {
+	if path, derr := ocli.DumpFlight("gef"); derr != nil {
+		fmt.Fprintf(os.Stderr, "gef: flight dump failed: %v\n", derr)
+	} else {
+		fmt.Fprintf(os.Stderr, "gef: flight recorder dumped to %s (inspect with gef -flight-dump %s)\n", path, path)
+	}
 	switch {
 	case errors.Is(err, robust.ErrDeadline):
 		fatal("%s: %v (deadline hit — raise -timeout or shrink -n/-k)", what, err)

@@ -26,6 +26,7 @@ package gef
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"gef/internal/core"
 	"gef/internal/dataset"
@@ -459,3 +460,24 @@ func PipelineMetrics() *MetricsRegistry { return obs.Metrics() }
 // WriteBenchReport writes the current metrics as a BENCH_*.json-shaped
 // report (see BENCH_obs.json at the repo root for the convention).
 func WriteBenchReport(path, name string) error { return obs.WriteBenchReport(path, name) }
+
+// NewChromeTraceSink returns a Chrome trace_event JSON writer — load
+// the output in chrome://tracing or Perfetto (the CLIs'
+// -trace-format=chrome mode). Call Flush to terminate the JSON array.
+func NewChromeTraceSink(w io.Writer) TraceSink { return obs.NewChromeTraceSink(w) }
+
+// TelemetryHandler returns the operational HTTP surface over the
+// process-wide registry and flight recorder: /metrics (Prometheus text
+// exposition), /healthz (liveness JSON) and /flight (flight-recorder
+// snapshot). Mount it on any mux, or serve it standalone — this is the
+// surface an embedding explanation server exposes.
+func TelemetryHandler() http.Handler { return obs.Handler() }
+
+// FlightSnapshot is a consistent, gap-free copy of the always-on flight
+// recorder: the most recent completed spans, span events, degradations
+// and typed errors, with monotonic sequence numbers.
+type FlightSnapshot = obs.FlightSnapshot
+
+// CaptureFlight snapshots the process-wide flight recorder — the
+// post-mortem ring the CLIs dump on errors and degradations.
+func CaptureFlight() FlightSnapshot { return obs.Flight().Snapshot() }

@@ -18,6 +18,7 @@ func All() []*analysis.Analyzer {
 		Errdrop,
 		Floatcmp,
 		Naninput,
+		Obsmetric,
 		Obsspan,
 		Rawgo,
 		Sliceret,

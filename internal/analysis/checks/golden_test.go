@@ -93,7 +93,8 @@ func TestFloatcmpGolden(t *testing.T) { runGolden(t, Floatcmp, "floatcmp") }
 func TestErrdropGolden(t *testing.T)  { runGolden(t, Errdrop, "errdrop") }
 func TestDetrandGolden(t *testing.T)  { runGolden(t, Detrand, "detrand") }
 func TestNaninputGolden(t *testing.T) { runGolden(t, Naninput, "naninput") }
-func TestObsspanGolden(t *testing.T)  { runGolden(t, Obsspan, "obsspan") }
+func TestObsmetricGolden(t *testing.T) { runGolden(t, Obsmetric, "obsmetric") }
+func TestObsspanGolden(t *testing.T)   { runGolden(t, Obsspan, "obsspan") }
 func TestRawgoGolden(t *testing.T)    { runGolden(t, Rawgo, "rawgo") }
 func TestSliceretGolden(t *testing.T) { runGolden(t, Sliceret, "sliceret") }
 

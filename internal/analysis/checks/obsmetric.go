@@ -1,0 +1,95 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// obsmetricFuncs are the obs package-level helpers whose first argument
+// names a metric series.
+var obsmetricFuncs = map[string]bool{
+	"Count":    true,
+	"SetGauge": true,
+	"Observe":  true,
+}
+
+// obsmetricMethods are the Registry methods whose first argument names a
+// metric family.
+var obsmetricMethods = map[string]bool{
+	"Counter":             true,
+	"Gauge":               true,
+	"Histogram":           true,
+	"HistogramBuckets":    true,
+	"CounterVec":          true,
+	"GaugeVec":            true,
+	"HistogramVec":        true,
+	"HistogramVecBuckets": true,
+}
+
+// Obsmetric flags metric names built at runtime — fmt.Sprintf calls,
+// concatenations with variables — passed to the obs registry. A dynamic
+// name mints an unbounded set of series (one per distinct value), which
+// defeats instrument hoisting, bloats every Snapshot/WritePrometheus
+// call, and bypasses the schema check that labeled vectors enforce. The
+// fix is a CounterVec/GaugeVec/HistogramVec with the dynamic part as a
+// label value: obs.Metrics().CounterVec("engine.cache_hits",
+// "stage").With(stage) instead of obs.Count("engine.cache_hits."+stage).
+// internal/obs itself is exempt — the vec implementation builds encoded
+// series names by design.
+var Obsmetric = &analysis.Analyzer{
+	Name: "obsmetric",
+	Doc:  "flags runtime-built metric names; use labeled metric vectors instead",
+	Run:  runObsmetric,
+}
+
+// isObsMetricName reports whether call is an obs metric constructor and,
+// if so, returns its name argument.
+func isObsMetricName(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "gef/internal/obs" || len(call.Args) == 0 {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	if sig.Recv() == nil {
+		if obsmetricFuncs[fn.Name()] {
+			return call.Args[0], true
+		}
+		return nil, false
+	}
+	if obsmetricMethods[fn.Name()] {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+func runObsmetric(pass *analysis.Pass) {
+	if pass.Pkg.Path() == "gef/internal/obs" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || isTestFile(pass, n) {
+				return true
+			}
+			name, ok := isObsMetricName(pass, call)
+			if !ok {
+				return true
+			}
+			// A compile-time constant string (literal, const ident, or a
+			// concatenation of constants) keys a fixed series — fine.
+			// Anything the type checker cannot fold to a constant mints
+			// series at runtime.
+			if tv, ok := pass.Info.Types[name]; ok && tv.Value != nil {
+				return true
+			}
+			pass.Reportf(name.Pos(), "metric name is built at runtime, minting unbounded series; use a labeled vector (CounterVec/GaugeVec/HistogramVec) with the dynamic part as a label value")
+			return true
+		})
+	}
+}

@@ -1,0 +1,54 @@
+// Golden-test input for the obsmetric analyzer. The package path is
+// golden/obsmetric — outside gef/internal/obs — so dynamically built
+// metric names must be flagged.
+package obsmetric
+
+import (
+	"fmt"
+
+	"gef/internal/obs"
+)
+
+const prefix = "engine.cache_hits"
+
+// dynamicSuffix concatenates a variable into the metric name — flagged.
+func dynamicSuffix(stage string, hits int64) {
+	obs.Count("engine.cache_hits."+stage, hits) // want "metric name is built at runtime"
+}
+
+// sprintfName formats the metric name — flagged.
+func sprintfName(shard int) {
+	obs.SetGauge(fmt.Sprintf("shard.%d.load", shard), 0.5) // want "metric name is built at runtime"
+}
+
+// registryDynamic goes through the registry directly — flagged.
+func registryDynamic(strategy string) {
+	obs.Metrics().Counter("featsel.pairs_scored." + strategy).Inc() // want "metric name is built at runtime"
+}
+
+// dynamicHistogram observes under a computed name — flagged.
+func dynamicHistogram(site string, v float64) {
+	obs.Observe("lat."+site, v) // want "metric name is built at runtime"
+}
+
+// constantName uses a literal — exempt.
+func constantName(hits int64) {
+	obs.Count("engine.cache_hits", hits)
+}
+
+// constantConcat folds at compile time — exempt.
+func constantConcat() {
+	obs.Metrics().Counter(prefix + ".total").Inc()
+}
+
+// labeledVector is the sanctioned dynamic form: a constant family name
+// with the dynamic part as a label value — exempt.
+func labeledVector(stage string, hits int64) {
+	obs.Metrics().CounterVec("engine.cache_hits", "stage").With(stage).Add(hits)
+}
+
+// annotated documents a deliberate dynamic name — suppressed.
+func annotated(tenant string) {
+	//lint:ignore obsmetric bounded cardinality: tenant set is fixed at config load
+	obs.Count("tenant.requests."+tenant, 1)
+}

@@ -87,6 +87,14 @@ func AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Exp
 // bases and penalty blocks — a warm engine skips straight to the
 // candidate fits.
 func (e *Engine) AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
+	ex, steps, err := e.autoExplainCtx(ctx, f, cfg)
+	if err != nil {
+		obs.RecordError("core.auto_explain", err)
+	}
+	return ex, steps, err
+}
+
+func (e *Engine) autoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
 	cfg = cfg.withDefaults(f)
 	base := cfg.Base.withDefaults()
 	ctx, root := obs.Start(ctx, "gef.auto_explain",

@@ -205,8 +205,18 @@ func ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation
 	return shared.ExplainCtx(ctx, f, cfg)
 }
 
-// ExplainCtx runs the staged pipeline through e's artifact cache.
+// ExplainCtx runs the staged pipeline through e's artifact cache. Any
+// error leaving the pipeline is also stored in the flight recorder, so a
+// post-hoc dump shows the failing run's last spans next to the error.
 func (e *Engine) ExplainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
+	ex, err := e.explainCtx(ctx, f, cfg)
+	if err != nil {
+		obs.RecordError("core.explain", err)
+	}
+	return ex, err
+}
+
+func (e *Engine) explainCtx(ctx context.Context, f *forest.Forest, cfg Config) (*Explanation, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err

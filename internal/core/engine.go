@@ -15,12 +15,13 @@ import (
 	"gef/internal/robust"
 )
 
-// Aggregate cache instruments, hoisted like the other pipeline metrics;
-// per-stage counts land in engine.cache_hits.<stage> /
-// engine.cache_misses.<stage> via the registry.
+// Cache instruments, hoisted like the other pipeline metrics. One
+// labeled family per outcome — series land in the registry as
+// engine.cache_hits{stage="..."} / engine.cache_misses{stage="..."} and
+// aggregate naturally under Prometheus sum().
 var (
-	mEngineHits   = obs.Metrics().Counter("engine.cache_hits")
-	mEngineMisses = obs.Metrics().Counter("engine.cache_misses")
+	mEngineHits   = obs.Metrics().CounterVec("engine.cache_hits", "stage")
+	mEngineMisses = obs.Metrics().CounterVec("engine.cache_misses", "stage")
 )
 
 // defaultCacheBudget bounds the payload bytes the artifact cache may
@@ -182,12 +183,10 @@ func formatBytes(b int64) string {
 // process-wide metrics registry).
 func (e *Engine) addStage(stage string, hits, misses int64) {
 	if hits != 0 {
-		mEngineHits.Add(hits)
-		obs.Count("engine.cache_hits."+stage, hits)
+		mEngineHits.With(stage).Add(hits)
 	}
 	if misses != 0 {
-		mEngineMisses.Add(misses)
-		obs.Count("engine.cache_misses."+stage, misses)
+		mEngineMisses.With(stage).Add(misses)
 	}
 	e.mu.Lock()
 	st := e.stages[stage]

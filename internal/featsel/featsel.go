@@ -87,9 +87,13 @@ func RankInteractions(f *forest.Forest, selected []int, strategy InteractionStra
 	return RankInteractionsCtx(context.Background(), f, selected, strategy, sample)
 }
 
+// Metrics instruments (hoisted; see internal/obs). Pairs scored are
+// labeled per strategy: featsel.pairs_scored{strategy="..."}.
+var mPairsScored = obs.Metrics().CounterVec("featsel.pairs_scored", "strategy")
+
 // RankInteractionsCtx is RankInteractions under an obs span; the number
 // of scored pairs is counted per strategy in
-// featsel.pairs_scored.<strategy> (H-Stat's forest evaluations are
+// featsel.pairs_scored{strategy="..."} (H-Stat's forest evaluations are
 // counted separately by internal/pdp).
 func RankInteractionsCtx(ctx context.Context, f *forest.Forest, selected []int, strategy InteractionStrategy, sample [][]float64) ([]Pair, error) {
 	_, sp := obs.Start(ctx, "featsel.rank_interactions",
@@ -101,7 +105,7 @@ func RankInteractionsCtx(ctx context.Context, f *forest.Forest, selected []int, 
 	if err != nil {
 		return nil, err
 	}
-	obs.Count("featsel.pairs_scored."+string(strategy), int64(len(pairs)))
+	mPairsScored.With(string(strategy)).Add(int64(len(pairs)))
 	sp.Set(obs.Int("pairs", len(pairs)))
 	return pairs, nil
 }

@@ -18,11 +18,11 @@ var (
 	mIRLSIters = obs.Metrics().Histogram("gam.pirls_iters")
 	mIRLSDelta = obs.Metrics().Histogram("gam.pirls_delta")
 	mFits      = obs.Metrics().Counter("gam.fits")
-	// mNumWarn counts numerical-conditioning warnings: negative RSS
-	// clamps, non-positive GCV denominators and P-IRLS divergence. A
-	// non-zero value in -metrics-out means some λ evaluations ran on the
-	// edge of ill-conditioning even if the chosen fit is healthy.
-	mNumWarn = obs.Metrics().Counter("gam.numerical_warnings")
+	// mNumWarn counts numerical-conditioning warnings, labeled by kind
+	// (negative_rss clamps, nonpositive_gcv_denominator, pirls_diverged).
+	// A non-zero series in -metrics-out means some λ evaluations ran on
+	// the edge of ill-conditioning even if the chosen fit is healthy.
+	mNumWarn = obs.Metrics().CounterVec("gam.numerical_warnings", "kind")
 )
 
 // ridgeScale is the small unconditional ridge added to every penalized
@@ -370,7 +370,7 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 				// A non-positive GCV denominator means the effective
 				// degrees of freedom swallowed the sample — severe
 				// ill-conditioning, not a normal grid miss.
-				mNumWarn.Inc()
+				mNumWarn.With("nonpositive_gcv_denominator").Inc()
 				sp.Event("gam.numerical_warning", obs.Str("kind", "nonpositive_gcv_denominator"),
 					obs.F64("lambda", lambda), obs.F64("raw", r.raw))
 			}
@@ -381,7 +381,7 @@ func fitGaussian(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y 
 			// A negative RSS from the sufficient-statistics identity is
 			// cancellation error: the clamp keeps GCV defined, but the
 			// raw magnitude is the conditioning signal.
-			mNumWarn.Inc()
+			mNumWarn.With("negative_rss").Inc()
 			sp.Event("gam.numerical_warning", obs.Str("kind", "negative_rss"),
 				obs.F64("lambda", lambda), obs.F64("raw", r.rawRSS))
 		}
@@ -540,7 +540,7 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 			if halvings > 0 {
 				if dev > prevDev {
 					diverged = true
-					mNumWarn.Inc()
+					mNumWarn.With("pirls_diverged").Inc()
 					lsp.Event("gam.numerical_warning", obs.Str("kind", "pirls_diverged"),
 						obs.Int("iter", it), obs.F64("raw", dev), obs.F64("prev_dev", prevDev))
 					break
@@ -579,7 +579,7 @@ func fitLogit(ctx context.Context, spec Spec, d *design, s *linalg.Matrix, y []f
 		}
 		denom := n - edf
 		if denom <= 0 {
-			mNumWarn.Inc()
+			mNumWarn.With("nonpositive_gcv_denominator").Inc()
 			lsp.Event("gam.numerical_warning", obs.Str("kind", "nonpositive_gcv_denominator"),
 				obs.F64("raw", denom))
 			lsp.Set(obs.Str("skip", "edf exceeds n"))

@@ -9,14 +9,17 @@ import (
 	"runtime/pprof"
 )
 
-// CLI bundles the observability flags shared by the gef and experiments
-// commands:
+// CLI bundles the observability flags shared by the gef, forestgen and
+// experiments commands:
 //
-//	-trace <file|->   JSON-lines span trace (stdout with "-")
-//	-v                human-readable span progress on stderr
-//	-metrics-out <f>  BENCH-shaped metrics snapshot written on exit
-//	-cpuprofile <f>   CPU profile with per-stage pprof labels
-//	-memprofile <f>   heap profile written on exit
+//	-trace <file|->     span trace (stdout with "-")
+//	-trace-format <f>   trace encoding: jsonl (default), text, chrome
+//	-v                  human-readable span progress on stderr
+//	-metrics-out <f>    BENCH-shaped metrics snapshot written on exit
+//	-flight-out <f>     flight-recorder snapshot written on exit
+//	-obs-listen <addr>  serve /metrics, /healthz and /flight while running
+//	-cpuprofile <f>     CPU profile with per-stage pprof labels
+//	-memprofile <f>     heap profile written on exit
 //
 // Typical use:
 //
@@ -26,26 +29,73 @@ import (
 //	stop, err := ocli.Start("gef")
 //	if err != nil { ... }
 //	defer stop()
+//
+// On a typed pipeline error or a degraded explanation the commands also
+// call DumpFlight to persist the flight recorder even when -flight-out
+// was not given (dump-on-error).
 type CLI struct {
-	Trace      string
-	MetricsOut string
-	CPUProfile string
-	MemProfile string
-	Verbose    bool
+	Trace       string
+	TraceFormat string
+	MetricsOut  string
+	FlightOut   string
+	ObsListen   string
+	CPUProfile  string
+	MemProfile  string
+	Verbose     bool
 }
+
+// Trace encodings accepted by -trace-format.
+const (
+	TraceJSONL  = "jsonl"
+	TraceText   = "text"
+	TraceChrome = "chrome"
+)
 
 // RegisterFlags declares the shared observability flags on fs.
 func (c *CLI) RegisterFlags(fs *flag.FlagSet) {
-	fs.StringVar(&c.Trace, "trace", "", "write a JSON-lines span trace to this file ('-' for stdout)")
+	fs.StringVar(&c.Trace, "trace", "", "write a span trace to this file ('-' for stdout)")
+	fs.StringVar(&c.TraceFormat, "trace-format", TraceJSONL,
+		"encoding for -trace: jsonl (machine analysis), text (human log), chrome (chrome://tracing / Perfetto trace_event JSON)")
 	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (BENCH shape) to this file on exit")
+	fs.StringVar(&c.FlightOut, "flight-out", "", "write a flight-recorder snapshot (JSON) to this file on exit; errors and degradations dump here automatically")
+	fs.StringVar(&c.ObsListen, "obs-listen", "", "serve /metrics (Prometheus), /healthz and /flight on this address while running (e.g. localhost:9090)")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile (stages labelled "+pprofLabelKey+") to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
 	fs.BoolVar(&c.Verbose, "v", false, "print human-readable span progress to stderr")
 }
 
+// traceSink builds the sink selected by -trace-format for w.
+func (c *CLI) traceSink(w io.Writer) (Sink, error) {
+	switch c.TraceFormat {
+	case TraceJSONL, "":
+		return NewJSONSink(w), nil
+	case TraceText:
+		return NewTextSink(w), nil
+	case TraceChrome:
+		return NewChromeTraceSink(w), nil
+	}
+	return nil, fmt.Errorf("obs: unknown -trace-format %q (want jsonl, text or chrome)", c.TraceFormat)
+}
+
+// DumpFlight writes the flight recorder to -flight-out, or to
+// <name>-flight.json when the flag was not given, and returns the path.
+// The commands call it on typed errors and degraded explanations so a
+// post-mortem ring is always on disk after a failed run.
+func (c *CLI) DumpFlight(name string) (string, error) {
+	path := c.FlightOut
+	if path == "" {
+		path = name + "-flight.json"
+	}
+	if err := DumpFlightFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // Start activates everything the parsed flags request and returns the
-// cleanup function, which flushes sinks, stops profiles and writes the
-// metrics snapshot. name labels the metrics report.
+// cleanup function, which flushes sinks, stops profiles and servers, and
+// writes the metrics and flight snapshots. name labels the metrics
+// report and the default flight-dump filename.
 func (c *CLI) Start(name string) (stop func(), err error) {
 	var sinks []Sink
 	var closers []io.Closer
@@ -67,24 +117,45 @@ func (c *CLI) Start(name string) (stop func(), err error) {
 			closers = append(closers, f)
 			w = f
 		}
-		sinks = append(sinks, NewJSONSink(w))
+		s, err := c.traceSink(w)
+		if err != nil {
+			cleanupOnErr()
+			return nil, err
+		}
+		sinks = append(sinks, s)
 	}
 	if c.Verbose {
 		sinks = append(sinks, NewTextSink(os.Stderr))
 	}
-	SetSink(MultiSink(sinks...))
+	SetSink(NewSinkTee(sinks...))
+
+	stopServe := func() {}
+	if c.ObsListen != "" {
+		bound, stopSrv, err := Serve(c.ObsListen)
+		if err != nil {
+			cleanupOnErr()
+			SetSink(nil)
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: telemetry on http://%s (/metrics /healthz /flight)\n", bound)
+		stopServe = stopSrv
+	}
 
 	var cpuFile *os.File
 	if c.CPUProfile != "" {
 		cpuFile, err = os.Create(c.CPUProfile)
 		if err != nil {
 			cleanupOnErr()
+			stopServe()
+			SetSink(nil)
 			return nil, fmt.Errorf("obs: creating cpu profile: %w", err)
 		}
 		closers = append(closers, cpuFile)
 		SetPprofLabels(true)
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cleanupOnErr()
+			stopServe()
+			SetSink(nil)
 			return nil, fmt.Errorf("obs: starting cpu profile: %w", err)
 		}
 	} else {
@@ -101,9 +172,15 @@ func (c *CLI) Start(name string) (stop func(), err error) {
 			}
 		}
 		SetSink(nil)
+		stopServe()
 		if c.MetricsOut != "" {
 			if err := WriteBenchReport(c.MetricsOut, name); err != nil {
 				fmt.Fprintf(os.Stderr, "obs: writing metrics: %v\n", err)
+			}
+		}
+		if c.FlightOut != "" {
+			if err := DumpFlightFile(c.FlightOut); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: writing flight snapshot: %v\n", err)
 			}
 		}
 		if c.MemProfile != "" {

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+// HTTP surface for operational telemetry — the endpoints the gefd
+// explanation server mounts and the CLIs expose behind -obs-listen:
+//
+//	/metrics  Prometheus text exposition of the metrics registry
+//	/healthz  liveness JSON (status, uptime, runtime identity)
+//	/flight   JSON snapshot of the flight recorder
+//
+// Handler uses only net/http; there is no middleware, auth or TLS —
+// serve it on a loopback or otherwise trusted interface.
+
+// processStart anchors /healthz uptime.
+var processStart = time.Now()
+
+// Handler returns the telemetry handler over the default metrics
+// registry and the default flight recorder.
+func Handler() http.Handler { return HandlerFor(Metrics(), nil) }
+
+// HandlerFor returns a telemetry handler over an explicit registry and
+// recorder. A nil recorder serves the process-wide default (resolved per
+// request, so SetFlight swaps take effect live).
+func HandlerFor(r *Registry, rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	recorder := func() *Recorder {
+		if rec != nil {
+			return rec
+		}
+		return Flight()
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is log the broken scrape.
+			fmt.Fprintf(os.Stderr, "obs: /metrics write: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(map[string]any{
+			"status":    "ok",
+			"uptime_s":  time.Since(processStart).Seconds(),
+			"go":        runtime.Version(),
+			"goroutine": runtime.NumGoroutine(),
+			"workers":   runtime.GOMAXPROCS(0),
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: /healthz write: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteFlightJSON(w, recorder().Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: /flight write: %v\n", err)
+		}
+	})
+	return mux
+}
+
+// Serve starts Handler on addr (e.g. "localhost:9090", ":0" for an
+// ephemeral port) in a background goroutine and returns the bound
+// address plus a stop function that shuts the listener down. The CLIs
+// wire this behind -obs-listen so any run can be scraped while it
+// computes.
+func Serve(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ErrServerClosed is the normal shutdown path; anything else is
+		// reported because the caller's scrape surface silently died.
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "obs: telemetry server: %v\n", serr)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		//lint:ignore errdrop best-effort shutdown of a diagnostics listener
+		srv.Close()
+		<-done
+	}, nil
+}

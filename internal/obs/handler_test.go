@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("explains.total").Add(5)
+	r.CounterVec("engine.cache_hits", "stage").With("gam").Add(2)
+	srv := httptest.NewServer(HandlerFor(r, NewRecorder(16)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	samples := parsePromText(t, string(body))
+	if samples["explains_total"] != 5 || samples[`engine_cache_hits{stage="gam"}`] != 2 {
+		t.Errorf("scrape samples = %v", samples)
+	}
+}
+
+func TestHandlerHealthzEndpoint(t *testing.T) {
+	srv := httptest.NewServer(HandlerFor(NewRegistry(), NewRecorder(16)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string  `json:"status"`
+		UptimeS float64 `json:"uptime_s"`
+		Go      string  `json:"go"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || h.UptimeS < 0 || !strings.HasPrefix(h.Go, "go") {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestHandlerFlightEndpoint(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.RecordSpan(&SpanData{Name: "served.span"})
+	srv := httptest.NewServer(HandlerFor(NewRegistry(), rec))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/flight")
+	if err != nil {
+		t.Fatalf("GET /flight: %v", err)
+	}
+	defer resp.Body.Close()
+	var s FlightSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(s.Entries) != 1 || s.Entries[0].Span.Name != "served.span" {
+		t.Errorf("flight snapshot = %+v", s)
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	bound, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	resp, err := http.Get("http://" + bound + "/healthz")
+	if err != nil {
+		stop()
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		stop()
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	stop()
+	if _, err := http.Get("http://" + bound + "/healthz"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}

@@ -20,6 +20,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	vecs     map[vecKey]any // labeled families; see vec.go
 }
 
 // NewRegistry returns an empty registry.
@@ -89,6 +90,7 @@ func (r *Registry) Reset() {
 	r.counters = make(map[string]*Counter)
 	r.gauges = make(map[string]*Gauge)
 	r.hists = make(map[string]*Histogram)
+	r.vecs = make(map[vecKey]any)
 }
 
 // Counter is a monotonically increasing int64.
@@ -176,12 +178,32 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
-// Sum returns the sum of all observations.
+// Sum returns the sum of all observations. The accumulator is a CAS
+// loop over float64 bits, so Sum is safe (and exact up to float64
+// addition order) under concurrent Observe calls.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts:
-// linear interpolation inside the hosting bucket, clamped to the observed
-// min/max. Returns NaN with no observations.
+// Buckets returns the histogram's ascending upper bounds and the
+// per-bucket observation counts. counts has len(bounds)+1 entries — the
+// last is the implicit +Inf overflow bucket. Counts are read bucket by
+// bucket, so under concurrent Observe calls the snapshot can trail an
+// in-flight observation; each individual count is exact. The Prometheus
+// exposition writer builds its cumulative _bucket series from this.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
+}
+
+// Quantile estimates the q-quantile from the bucket counts: linear
+// interpolation inside the hosting bucket, clamped to the observed
+// min/max. Edge behavior is pinned down (and locked in by tests):
+//
+//   - no observations → NaN, whatever q is;
+//   - q <= 0 (including negative q) → the observed minimum;
+//   - q >= 1 (including q > 1) → the observed maximum.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -189,6 +211,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	mn := math.Float64frombits(h.min.Load())
 	mx := math.Float64frombits(h.max.Load())
+	if q <= 0 {
+		return mn
+	}
+	if q >= 1 {
+		return mx
+	}
 	rank := q * float64(total)
 	var cum float64
 	for i := range h.counts {

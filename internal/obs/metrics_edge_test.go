@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileEdges pins the documented clamp behaviour at the
+// parameter boundaries: empty → NaN, q ≤ 0 → observed minimum,
+// q ≥ 1 → observed maximum, regardless of bucket interpolation.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge")
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	h.Observe(2)
+	h.Observe(40)
+	h.Observe(900)
+	for _, q := range []float64{-0.5, 0} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%v) = %v, want observed min 2", q, got)
+		}
+	}
+	for _, q := range []float64{1, 1.5, math.Inf(1)} {
+		if got := h.Quantile(q); got != 900 {
+			t.Errorf("Quantile(%v) = %v, want observed max 900", q, got)
+		}
+	}
+	// Interior quantiles stay inside the observed range.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got < 2 || got > 900 {
+			t.Errorf("Quantile(%v) = %v escaped [2, 900]", q, got)
+		}
+	}
+}
+
+// TestHistogramSumRace reads Sum, Count and Quantile while writers
+// observe concurrently — the CAS-loop on the bit-packed sum must stay
+// race-clean (this test is the -race gate for the read path).
+func TestHistogramSumRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hot")
+	const workers, per = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	//lint:ignore rawgo test drives concurrent readers against Observe
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := h.Sum(); s < 0 || math.IsNaN(s) {
+				t.Error("torn sum read")
+				return
+			}
+			_ = h.Count()
+			_ = h.Quantile(0.5)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:ignore rawgo test drives concurrent writers
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	for h.Count() < workers*per {
+	}
+	close(stop)
+	wg.Wait()
+	if got := h.Sum(); got != float64(workers*per) {
+		t.Errorf("final sum = %v, want %v", got, workers*per)
+	}
+}

@@ -16,10 +16,17 @@
 //     evaluations. They are always-on atomics with negligible cost, so
 //     hot paths need no enable checks.
 //
-// When no sink is installed and pprof labels are off, Start returns a nil
-// *Span whose methods no-op, so a fully-instrumented pipeline is
-// effectively free (one atomic load per stage) and byte-identical in
-// output to an uninstrumented one.
+// A third consumer rides on the span stream: the always-on flight
+// recorder (see recorder.go), a fixed-size ring of the most recent
+// completed spans, events, degradations and errors that production runs
+// dump on error and the telemetry handler serves at /flight. With the
+// recorder enabled (the default) Start always returns a live span; the
+// per-span cost is one small allocation plus a short ring write at End
+// (ReadMemStats is still skipped unless a sink is installed, so alloc
+// deltas are only measured when tracing is on). When the recorder is
+// disabled too, Start returns a nil *Span whose methods no-op and the
+// pipeline is effectively free (one atomic load per stage). In every
+// mode the pipeline output is byte-identical to an uninstrumented one.
 package obs
 
 import (
@@ -93,7 +100,8 @@ func CurrentSink() Sink {
 // `go tool pprof -tags` attributes time to pipeline stages.
 func SetPprofLabels(on bool) { pprofLabels.Store(on) }
 
-// Enabled reports whether Start currently produces live spans.
+// Enabled reports whether a trace sink or pprof labels are active (the
+// flight recorder keeps spans live independently of this).
 func Enabled() bool { return CurrentSink() != nil || pprofLabels.Load() }
 
 // ctxKey carries the parent *Span through a context.
@@ -118,13 +126,14 @@ type Span struct {
 }
 
 // Start begins a span named name as a child of the span in ctx (if any)
-// and returns a derived context carrying the new span. When tracing and
-// pprof labels are both disabled it returns (ctx, nil) without
-// allocating.
+// and returns a derived context carrying the new span. When tracing,
+// pprof labels and the flight recorder are all disabled it returns
+// (ctx, nil) without allocating; with only the recorder on (the
+// production default) the span is live but alloc deltas stay zero.
 func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	sink := CurrentSink()
 	labels := pprofLabels.Load()
-	if sink == nil && !labels {
+	if sink == nil && !labels && !Flight().Enabled() {
 		return ctx, nil
 	}
 	return start(ctx, name, sink, labels, attrs)
@@ -176,9 +185,14 @@ func (s *Span) Set(attrs ...Attr) {
 }
 
 // Event emits an instantaneous child record (zero wall time) — e.g. an
-// early-stopping decision — without opening a span.
+// early-stopping decision — without opening a span. Events reach both
+// the trace sink and the flight recorder.
 func (s *Span) Event(name string, attrs ...Attr) {
-	if s == nil || s.sink == nil {
+	if s == nil {
+		return
+	}
+	fl := Flight()
+	if s.sink == nil && !fl.Enabled() {
 		return
 	}
 	ev := SpanData{
@@ -189,12 +203,16 @@ func (s *Span) Event(name string, attrs ...Attr) {
 		Start:  time.Now(),
 		Attrs:  attrs,
 	}
-	s.sink.End(&ev)
+	if s.sink != nil {
+		s.sink.End(&ev)
+	}
+	fl.record(FlightEvent, &ev, "")
 }
 
 // End closes the span, records wall time and allocation deltas, emits it
-// to the sink, restores the parent's pprof labels, and returns the wall
-// time. Safe to call on a nil span (returns 0) and idempotent.
+// to the sink and the flight recorder, restores the parent's pprof
+// labels, and returns the wall time. Safe to call on a nil span
+// (returns 0) and idempotent.
 func (s *Span) End() time.Duration {
 	if s == nil || s.ended {
 		return 0
@@ -211,7 +229,17 @@ func (s *Span) End() time.Duration {
 		s.data.AllocObjects = ms.Mallocs - s.startMallocs
 		s.sink.End(&s.data)
 	}
+	Flight().record(FlightSpan, &s.data, "")
 	return s.data.Wall
+}
+
+// Name returns the span's name ("" on a nil span). internal/par uses it
+// to label its chunk metrics with the innermost pipeline site.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.Name
 }
 
 // Wall returns the span's duration so far (final after End).

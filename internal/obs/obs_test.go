@@ -20,6 +20,10 @@ func withSink(t *testing.T, s Sink) {
 func TestDisabledStartIsInert(t *testing.T) {
 	SetSink(nil)
 	SetPprofLabels(false)
+	// The flight recorder keeps spans live even with tracing off; fully
+	// inert Start requires disabling it too.
+	Flight().SetEnabled(false)
+	t.Cleanup(func() { Flight().SetEnabled(true) })
 	ctx := context.Background()
 	nctx, sp := Start(ctx, "anything", Int("k", 1))
 	if sp != nil {

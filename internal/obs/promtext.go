@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry — the scrape surface behind Handler's /metrics endpoint.
+//
+// Mapping:
+//
+//   - metric names are sanitized for Prometheus (dots and any other
+//     illegal runes become underscores: engine.cache_hits →
+//     engine_cache_hits);
+//   - labeled series produced by the *Vec types keep their label block
+//     verbatim (values are escaped at creation; see vec.go);
+//   - counters and gauges emit one sample per series;
+//   - histograms emit the full native-histogram-free triplet: cumulative
+//     <name>_bucket{le="..."} samples per bound plus le="+Inf", then
+//     <name>_sum and <name>_count.
+//
+// Output is deterministic for a given registry state: families sort by
+// name, series sort by label block. Histogram bucket counters are read
+// individually while observations may be in flight; a scrape can
+// therefore be at most one observation out of self-consistency, which
+// the format tolerates (counters are monotone).
+
+// promNameRe-free sanitizer: Prometheus metric names match
+// [a-zA-Z_:][a-zA-Z0-9_:]*; every other rune becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value: Prometheus accepts Go's 'g' format
+// plus the spellings +Inf, -Inf and NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one (labels, render) pair inside a family.
+type promSeries struct {
+	labels string // encoded label block without braces; "" when unlabeled
+	value  string // pre-rendered sample value (counters, gauges)
+	hist   *Histogram
+}
+
+// errWriter accumulates the first write error so the emit helpers stay
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format. It is the /metrics implementation and safe to
+// call concurrently with metric updates.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type family struct {
+		kind   string // "counter", "gauge", "histogram"
+		series []promSeries
+	}
+	families := make(map[string]*family)
+	add := func(encoded, kind string, s promSeries) {
+		base, labels := SplitSeriesName(encoded)
+		name := promName(base)
+		f := families[name]
+		if f == nil {
+			f = &family{kind: kind}
+			families[name] = f
+		}
+		s.labels = labels
+		f.series = append(f.series, s)
+	}
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		add(name, "counter", promSeries{value: strconv.FormatInt(c.Value(), 10)})
+	}
+	for name, g := range r.gauges {
+		add(name, "gauge", promSeries{value: promFloat(g.Value())})
+	}
+	for name, h := range r.hists {
+		add(name, "histogram", promSeries{hist: h})
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ew := &errWriter{w: w}
+	for _, name := range names {
+		f := families[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		ew.printf("# TYPE %s %s\n", name, f.kind)
+		for _, s := range f.series {
+			if f.kind != "histogram" {
+				ew.printf("%s%s %s\n", name, braced(s.labels), s.value)
+				continue
+			}
+			writePromHistogram(ew, name, s.labels, s.hist)
+		}
+	}
+	return ew.err
+}
+
+// braced wraps a non-empty label block in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLabel appends one k="v" pair to an encoded label block.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabelValue(v) + `"`
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// writePromHistogram emits the _bucket/_sum/_count triplet for one
+// histogram series. Bucket samples are cumulative per the format.
+func writePromHistogram(ew *errWriter, name, labels string, h *Histogram) {
+	bounds, counts := h.Buckets()
+	var cum int64
+	for i, b := range bounds {
+		cum += counts[i]
+		ew.printf("%s_bucket{%s} %d\n", name, withLabel(labels, "le", promFloat(b)), cum)
+	}
+	cum += counts[len(bounds)]
+	ew.printf("%s_bucket{%s} %d\n", name, withLabel(labels, "le", "+Inf"), cum)
+	ew.printf("%s_sum%s %s\n", name, braced(labels), promFloat(h.Sum()))
+	ew.printf("%s_count%s %d\n", name, braced(labels), cum)
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Scrape-format grammar: the subset of the Prometheus text exposition
+// format this registry emits. Every line must match one of these.
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (NaN|[+-]Inf|[-+]?[0-9.eE+-]+)$`)
+)
+
+// parsePromText validates every line against the grammar and returns
+// samples as name+labelblock → value.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !promTypeRe.MatchString(line) {
+				t.Fatalf("invalid comment line %q", line)
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("invalid sample line %q", line)
+		}
+		var v float64
+		switch m[3] {
+		case "NaN":
+			v = math.NaN()
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			f, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			v = f
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusScrapeFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gam.fits").Add(7)
+	r.CounterVec("engine.cache_hits", "stage").With("domains").Add(3)
+	r.CounterVec("engine.cache_hits", "stage").With("sample").Add(2)
+	r.Gauge("par.workers").Set(4)
+	h := r.HistogramBuckets("explain.latency_s", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	samples := parsePromText(t, out)
+
+	if samples["gam_fits"] != 7 {
+		t.Errorf("gam_fits = %v", samples["gam_fits"])
+	}
+	if samples[`engine_cache_hits{stage="domains"}`] != 3 || samples[`engine_cache_hits{stage="sample"}`] != 2 {
+		t.Errorf("labeled counter series wrong: %v", samples)
+	}
+	if samples["par_workers"] != 4 {
+		t.Errorf("par_workers = %v", samples["par_workers"])
+	}
+
+	// Histogram triplet: cumulative buckets, +Inf == _count, _sum.
+	buckets := []struct {
+		le   string
+		want float64
+	}{{"0.1", 1}, {"1", 2}, {"10", 2}, {"+Inf", 3}}
+	var prev float64 = -1
+	for _, b := range buckets {
+		key := fmt.Sprintf(`explain_latency_s_bucket{le="%s"}`, b.le)
+		got, ok := samples[key]
+		if !ok || got != b.want {
+			t.Errorf("%s = %v (ok=%v), want %v", key, got, ok, b.want)
+		}
+		if got < prev {
+			t.Errorf("bucket counts not cumulative at le=%s", b.le)
+		}
+		prev = got
+	}
+	if samples["explain_latency_s_count"] != 3 {
+		t.Errorf("_count = %v", samples["explain_latency_s_count"])
+	}
+	if math.Abs(samples["explain_latency_s_sum"]-100.55) > 1e-9 {
+		t.Errorf("_sum = %v", samples["explain_latency_s_sum"])
+	}
+
+	// One TYPE line per family, before its samples.
+	if c := strings.Count(out, "# TYPE engine_cache_hits counter"); c != 1 {
+		t.Errorf("engine_cache_hits TYPE lines = %d", c)
+	}
+	if !strings.Contains(out, "# TYPE explain_latency_s histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+
+	// Output is deterministic.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatalf("second WritePrometheus: %v", err)
+	}
+	if buf2.String() != out {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestWritePrometheusEscapedLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m.x", "k").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := parsePromText(t, buf.String())
+	if samples[`m_x{k="a\"b\\c\nd"}`] != 1 {
+		t.Errorf("escaped series missing: %v", samples)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"engine.cache_hits":  "engine_cache_hits",
+		"9lives":             "_lives",
+		"a-b.c":              "a_b_c",
+		"ok_name:with_colon": "ok_name:with_colon",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

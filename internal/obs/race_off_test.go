@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing gates skip themselves under -race (instrumentation inflates
+// every atomic/mutex op far past the production budget).
+const raceEnabled = false

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric vectors. A vector is a family of instruments sharing one
+// name and one ordered label-key set; each distinct label-value tuple is
+// its own series:
+//
+//	var cacheHits = obs.Metrics().CounterVec("engine.cache_hits", "stage")
+//	cacheHits.With("domains").Inc()
+//
+// Series live in the registry under an encoded name —
+//
+//	engine.cache_hits{stage="domains"}
+//
+// — so Snapshot and WriteJSON keep their flat map[string] shape (the key
+// set simply grows braces), and WritePrometheus can split the encoded
+// name back into family + label block without a side table. Label values
+// are escaped exactly as the Prometheus text exposition format requires
+// (backslash, double quote and newline), which makes the encoded block
+// emittable verbatim. The key encoding is documented in DESIGN.md
+// ("Telemetry" section).
+//
+// Vector creation takes the registry lock; With takes one short
+// vector-local lock and should be hoisted out of hot loops the same way
+// plain instruments are:
+//
+//	hits := cacheHits.With("domains") // once
+//	for ... { hits.Inc() }            // lock-free
+
+// labelKeyRules: label keys must be valid Prometheus label names so the
+// exposition writer never has to sanitize them.
+func validLabelKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for i, r := range k {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// seriesName encodes one series: name{k1="v1",k2="v2"}. Keys keep their
+// declaration order so the same tuple always encodes identically.
+func seriesName(name string, keys, values []string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitSeriesName splits an encoded series name into its family and
+// label block: "a.b{x=\"1\"}" → ("a.b", `x="1"`). Unlabeled names return
+// (name, ""). The exposition writer and the snapshot pretty-printers use
+// it to regroup series into families.
+func SplitSeriesName(series string) (family, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	return series[:i], strings.TrimSuffix(series[i+1:], "}")
+}
+
+// vec is the shared core of the three vector kinds: the label schema
+// plus a cache from joined label values to the encoded series name.
+type vec struct {
+	r    *Registry
+	name string
+	keys []string
+
+	mu    sync.RWMutex
+	cache map[string]string // joined values → encoded series name
+}
+
+func newVec(r *Registry, name string, keys []string) vec {
+	for _, k := range keys {
+		if !validLabelKey(k) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", k, name))
+		}
+	}
+	if len(keys) == 0 {
+		panic(fmt.Sprintf("obs: vector metric %q declared with no label keys", name))
+	}
+	return vec{r: r, name: name, keys: keys, cache: make(map[string]string)}
+}
+
+// series resolves a label-value tuple to its encoded registry name,
+// caching the encoding (the common case is a handful of live tuples).
+func (v *vec) series(values []string) string {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values (%v), got %d",
+			v.name, len(v.keys), v.keys, len(values)))
+	}
+	joined := strings.Join(values, "\x00")
+	v.mu.RLock()
+	s, ok := v.cache[joined]
+	v.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = seriesName(v.name, v.keys, values)
+	v.mu.Lock()
+	v.cache[joined] = s
+	v.mu.Unlock()
+	return s
+}
+
+// CounterVec is a family of monotonic counters sharing one label schema.
+type CounterVec struct{ vec }
+
+// GaugeVec is a family of last-value gauges sharing one label schema.
+type GaugeVec struct{ vec }
+
+// HistogramVec is a family of fixed-bucket histograms sharing one label
+// schema and one bucket layout.
+type HistogramVec struct {
+	vec
+	bounds []float64
+}
+
+// vecKey identifies a vector declaration in the registry.
+type vecKey struct {
+	name string
+	kind string
+}
+
+// CounterVec returns (creating if needed) the counter family name with
+// the given ordered label keys. Redeclaring an existing family with a
+// different schema panics — it is a programming error that would silently
+// split the series namespace.
+func (r *Registry) CounterVec(name string, labelKeys ...string) *CounterVec {
+	v := r.vecFor(name, "counter", labelKeys, nil)
+	return v.(*CounterVec)
+}
+
+// GaugeVec returns (creating if needed) the gauge family name with the
+// given ordered label keys.
+func (r *Registry) GaugeVec(name string, labelKeys ...string) *GaugeVec {
+	v := r.vecFor(name, "gauge", labelKeys, nil)
+	return v.(*GaugeVec)
+}
+
+// HistogramVec returns (creating if needed) the histogram family name
+// with the given ordered label keys and the default log-spaced buckets.
+func (r *Registry) HistogramVec(name string, labelKeys ...string) *HistogramVec {
+	return r.HistogramVecBuckets(name, nil, labelKeys...)
+}
+
+// HistogramVecBuckets is HistogramVec with explicit ascending bucket
+// upper bounds (nil for the defaults). All series of one family share
+// the bounds fixed at declaration.
+func (r *Registry) HistogramVecBuckets(name string, bounds []float64, labelKeys ...string) *HistogramVec {
+	v := r.vecFor(name, "histogram", labelKeys, bounds)
+	return v.(*HistogramVec)
+}
+
+// vecFor resolves a vector declaration, enforcing schema consistency.
+func (r *Registry) vecFor(name, kind string, keys []string, bounds []float64) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.vecs == nil {
+		r.vecs = make(map[vecKey]any)
+	}
+	k := vecKey{name: name, kind: kind}
+	if existing, ok := r.vecs[k]; ok {
+		var have []string
+		switch e := existing.(type) {
+		case *CounterVec:
+			have = e.keys
+		case *GaugeVec:
+			have = e.keys
+		case *HistogramVec:
+			have = e.keys
+		}
+		if !equalStrings(have, keys) {
+			panic(fmt.Sprintf("obs: metric family %q redeclared with label keys %v (was %v)", name, keys, have))
+		}
+		return existing
+	}
+	var created any
+	switch kind {
+	case "counter":
+		created = &CounterVec{vec: newVec(r, name, keys)}
+	case "gauge":
+		created = &GaugeVec{vec: newVec(r, name, keys)}
+	case "histogram":
+		created = &HistogramVec{vec: newVec(r, name, keys), bounds: bounds}
+	}
+	r.vecs[k] = created
+	return created
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// With returns the counter series for the label-value tuple, creating it
+// on first use. Hoist the result out of hot loops; With takes a lock.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.r.Counter(v.series(labelValues))
+}
+
+// With returns the gauge series for the label-value tuple.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.r.Gauge(v.series(labelValues))
+}
+
+// With returns the histogram series for the label-value tuple. All
+// series share the family's bucket bounds.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.r.HistogramBuckets(v.series(labelValues), v.bounds)
+}
+
+// Series returns the encoded names of the family's live series, sorted —
+// a testing/debugging aid.
+func (v *vec) Series() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.cache))
+	for _, s := range v.cache {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterVecSeriesKeys(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("engine.cache_hits", "stage")
+	v.With("domains").Add(3)
+	v.With("sample").Inc()
+	v.With("domains").Inc()
+
+	s := r.Snapshot()
+	if got := s.Counters[`engine.cache_hits{stage="domains"}`]; got != 4 {
+		t.Errorf("domains series = %d, want 4", got)
+	}
+	if got := s.Counters[`engine.cache_hits{stage="sample"}`]; got != 1 {
+		t.Errorf("sample series = %d, want 1", got)
+	}
+	// Same tuple returns the same instrument.
+	if v.With("domains") != v.With("domains") {
+		t.Error("With returned different instruments for one tuple")
+	}
+	// Redeclaration returns the same family.
+	if r.CounterVec("engine.cache_hits", "stage") != v {
+		t.Error("CounterVec redeclaration returned a new family")
+	}
+}
+
+func TestVecMultiLabelOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("robust.degradations", "stage", "action")
+	v.With("gam", "drop_tensors").Inc()
+	want := `robust.degradations{stage="gam",action="drop_tensors"}`
+	if _, ok := r.Snapshot().Counters[want]; !ok {
+		t.Errorf("snapshot missing %q; have %v", want, r.Snapshot().Counters)
+	}
+}
+
+func TestVecLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m", "k").With(`a"b\c` + "\n").Inc()
+	var found string
+	for name := range r.Snapshot().Counters {
+		found = name
+	}
+	want := `m{k="a\"b\\c\n"}`
+	if found != want {
+		t.Errorf("encoded series = %q, want %q", found, want)
+	}
+	fam, labels := SplitSeriesName(found)
+	if fam != "m" || !strings.HasPrefix(labels, `k="`) {
+		t.Errorf("SplitSeriesName(%q) = %q, %q", found, fam, labels)
+	}
+}
+
+func TestGaugeAndHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("load", "shard").With("a").Set(0.5)
+	if got := r.Snapshot().Gauges[`load{shard="a"}`]; got != 0.5 {
+		t.Errorf("gauge series = %v", got)
+	}
+	hv := r.HistogramVecBuckets("lat", []float64{1, 10}, "route")
+	hv.With("explain").Observe(5)
+	hs, ok := r.Snapshot().Histograms[`lat{route="explain"}`]
+	if !ok || hs.Count != 1 {
+		t.Errorf("histogram series = %+v, ok=%v", hs, ok)
+	}
+	bounds, counts := hv.With("explain").Buckets()
+	if len(bounds) != 2 || len(counts) != 3 || counts[1] != 1 {
+		t.Errorf("buckets = %v %v", bounds, counts)
+	}
+}
+
+func TestVecPanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no labels", func() { r.CounterVec("x") })
+	mustPanic("bad key", func() { r.CounterVec("x", "has space") })
+	v := r.CounterVec("ok", "a", "b")
+	mustPanic("arity", func() { v.With("only-one") })
+	mustPanic("schema change", func() { r.CounterVec("ok", "different") })
+}
+
+func TestVecResetDetaches(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c", "k")
+	v.With("x").Inc()
+	r.Reset()
+	if len(r.Snapshot().Counters) != 0 {
+		t.Error("Reset left counters behind")
+	}
+	// A fresh declaration after Reset starts a new family.
+	v2 := r.CounterVec("c", "k")
+	if v2 == v {
+		t.Error("Reset did not clear the vec table")
+	}
+}

@@ -51,14 +51,25 @@ import (
 // state.
 const DefaultChunks = 32
 
-// Metrics instruments (hoisted; see internal/obs).
+// Metrics instruments (hoisted; see internal/obs). Chunk counts are
+// labeled by the calling site — the name of the span carried by ctx —
+// so par.chunks{site="shap.explain"} separates the SHAP hot path from
+// sampling fan-outs. Calls with no live span land on site="untraced".
 var (
 	mForCalls  = obs.Metrics().Counter("par.for_calls")
-	mChunks    = obs.Metrics().Counter("par.chunks")
+	mChunks    = obs.Metrics().CounterVec("par.chunks", "site")
 	mInline    = obs.Metrics().Counter("par.inline_calls")
 	mGoroutine = obs.Metrics().Counter("par.helpers_spawned")
 	gWorkers   = obs.Metrics().Gauge("par.workers")
 )
+
+// site resolves the metrics label for a For call from the span in ctx.
+func site(ctx context.Context) string {
+	if name := obs.FromContext(ctx).Name(); name != "" {
+		return name
+	}
+	return "untraced"
+}
 
 // configured holds the worker count set by SetWorkers; 0 means "use
 // GOMAXPROCS at call time".
@@ -136,7 +147,7 @@ func For(ctx context.Context, n, chunks int, body func(chunk, lo, hi int)) error
 	}
 	chunks = chunkCount(n, chunks)
 	mForCalls.Inc()
-	mChunks.Add(int64(chunks))
+	mChunks.With(site(ctx)).Add(int64(chunks))
 
 	helpers := 0
 	if chunks > 1 {

@@ -136,20 +136,27 @@ func (d Degradation) String() string {
 	return s
 }
 
-// Metrics instruments (hoisted; see internal/obs).
+// Metrics instruments (hoisted; see internal/obs). Degradations are a
+// labeled family — robust.degradations{stage="...",action="..."} — so a
+// scrape distinguishes a sampling shrink from a gam tensor drop;
+// recoveries/retries/injected_faults stay scalar (their site is implied
+// by the calling stage's span).
 var (
-	mDegradations = obs.Metrics().Counter("robust.degradations")
+	mDegradations = obs.Metrics().CounterVec("robust.degradations", "stage", "action")
 	mRecoveries   = obs.Metrics().Counter("robust.recoveries")
 	mInjected     = obs.Metrics().Counter("robust.injected_faults")
 	mRetries      = obs.Metrics().Counter("robust.retries")
 )
 
-// Record appends d to list, increments robust.degradations and emits a
-// robust.degradation event on the span carried by ctx (a no-op when
-// tracing is off).
+// Record appends d to list, increments the labeled
+// robust.degradations series, stores the rung in the flight recorder
+// (always on, so post-hoc dumps replay the ladder even without tracing)
+// and emits a robust.degradation event on the span carried by ctx (a
+// no-op when tracing is off).
 func Record(ctx context.Context, list *[]Degradation, d Degradation) {
 	*list = append(*list, d)
-	mDegradations.Inc()
+	mDegradations.With(d.Stage, d.Action).Inc()
+	obs.RecordDegradation(d.Stage, d.Action, d.Detail, d.Reason)
 	obs.FromContext(ctx).Event("robust.degradation",
 		obs.Str("stage", d.Stage),
 		obs.Str("action", d.Action),

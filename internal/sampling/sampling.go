@@ -25,10 +25,13 @@ import (
 )
 
 // Metrics instruments, hoisted so hot paths skip the registry lookup.
+// Counters are labeled by domain strategy —
+// sampling.rows_generated{strategy="equi-size"} — so strategy sweeps
+// show up as distinct scrape series.
 var (
-	mDomainPoints = obs.Metrics().Counter("sampling.domain_points")
+	mDomainPoints = obs.Metrics().CounterVec("sampling.domain_points", "strategy")
 	mDomainSize   = obs.Metrics().Histogram("sampling.domain_size")
-	mRows         = obs.Metrics().Counter("sampling.rows_generated")
+	mRows         = obs.Metrics().CounterVec("sampling.rows_generated", "strategy")
 	mForestEvals  = obs.Metrics().Counter("sampling.forest_evals")
 )
 
@@ -130,7 +133,7 @@ func BuildDomainsFromCtx(ctx context.Context, numFeatures int, thresholds map[in
 		total += n
 		mDomainSize.Observe(float64(n))
 	}
-	mDomainPoints.Add(int64(total))
+	mDomainPoints.With(string(d.Strategy)).Add(int64(total))
 	sp.Set(obs.Int("total_points", total))
 	return d, nil
 }
@@ -362,7 +365,7 @@ func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed 
 		obs.Int("rows", n), obs.Str("strategy", string(d.Strategy)),
 		obs.Int("workers", par.Workers()))
 	defer sp.End()
-	mRows.Add(int64(n))
+	mRows.With(string(d.Strategy)).Add(int64(n))
 	mForestEvals.Add(int64(n))
 	rng := rand.New(rand.NewSource(seed))
 	task := dataset.Regression

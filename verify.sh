@@ -36,3 +36,8 @@ if [ -n "${race_pkgs}" ]; then
 	# shellcheck disable=SC2086 # word splitting is the point
 	go test -race ${race_pkgs}
 fi
+
+# The flight recorder and labeled-vector registry are the always-on
+# telemetry every run depends on; race them explicitly so a -run filter
+# or a scan regression above can never drop the gate.
+go test -race -count=1 ./internal/obs
