@@ -6,29 +6,62 @@
 //
 // Usage:
 //
-//	geflint [-json] [-checks c1,c2] [patterns ...]   lint packages (default ./...)
-//	geflint -list                                    enumerate registered checks
+//	geflint [-json] [-checks c1,c2] [-workers n] [-bench file] [patterns ...]
+//	geflint -list    enumerate registered checks
 //
 // Exit codes form the CI contract used by verify.sh: 0 means clean,
 // 1 means diagnostics were reported, 2 means the tool itself failed
-// (bad flags, unparsable or untypeable source).
+// (bad flags, unparsable or untypeable source, or an analyzer panic —
+// a panic is an error, never a silently skipped package).
+//
+// -bench writes a small JSON gauge (wall time, package count, raw
+// finding count per analyzer) that verify.sh archives as
+// BENCH_lint.json, so lint-pass regressions show up in review like any
+// other performance artifact.
 //
 // Findings are suppressed in source with a trailing or preceding
 //
 //	//lint:ignore <check> <reason>
+//
+// or for a whole file (generated sources, fixtures) with
+//
+//	//lint:file-ignore <check> <reason>
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"gef/internal/analysis"
 	"gef/internal/analysis/checks"
+	"gef/internal/par"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// lintBench is the BENCH_lint.json shape: one gauge per run of the full
+// suite, raw (pre-suppression) finding counts per analyzer.
+type lintBench struct {
+	Name          string         `json:"name"`
+	Go            string         `json:"go"`
+	OS            string         `json:"os"`
+	Arch          string         `json:"arch"`
+	Workers       int            `json:"workers"`
+	Packages      int            `json:"packages"`
+	Analyzers     int            `json:"analyzers"`
+	LoadMs        float64        `json:"load_ms"`
+	AnalyzeMs     float64        `json:"analyze_ms"`
+	GeflintFullMs float64        `json:"geflint_full_ms"`
+	Findings      map[string]int `json:"findings"`
+	Suppressed    int            `json:"suppressed"`
+	Diagnostics   int            `json:"diagnostics"`
 }
 
 func run(args []string) int {
@@ -36,13 +69,15 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list registered checks and exit")
 	sel := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	workers := fs.Int("workers", 0, "parallel analysis workers (0 = GOMAXPROCS)")
+	bench := fs.String("bench", "", "write a JSON timing/finding gauge to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range checks.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -52,7 +87,9 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "geflint: unknown check in -checks=%q (see geflint -list)\n", *sel)
 		return 2
 	}
+	par.SetWorkers(*workers)
 
+	start := time.Now()
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "geflint:", err)
@@ -68,8 +105,39 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "geflint:", err)
 		return 2
 	}
+	loaded := time.Now()
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags, stats, err := analysis.Run(context.Background(), pkgs, analyzers)
+	if err != nil {
+		// Analyzer panics land here: loud, named, exit 2 — verify.sh
+		// treats this as a broken tool, not a clean run.
+		fmt.Fprintln(os.Stderr, "geflint:", err)
+		return 2
+	}
+	done := time.Now()
+
+	if *bench != "" {
+		b := lintBench{
+			Name:          "gef-lint-bench",
+			Go:            runtime.Version(),
+			OS:            runtime.GOOS,
+			Arch:          runtime.GOARCH,
+			Workers:       par.Workers(),
+			Packages:      stats.Packages,
+			Analyzers:     stats.Analyzers,
+			LoadMs:        float64(loaded.Sub(start).Microseconds()) / 1000,
+			AnalyzeMs:     float64(done.Sub(loaded).Microseconds()) / 1000,
+			GeflintFullMs: float64(done.Sub(start).Microseconds()) / 1000,
+			Findings:      stats.Raw,
+			Suppressed:    stats.Suppressed,
+			Diagnostics:   len(diags),
+		}
+		if err := writeBench(*bench, &b); err != nil {
+			fmt.Fprintln(os.Stderr, "geflint:", err)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		err = analysis.WriteJSON(os.Stdout, diags, loader.ModuleRoot)
 	} else {
@@ -84,4 +152,20 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+func writeBench(path string, b *lintBench) error {
+	// Keys of Findings are emitted sorted by encoding/json already;
+	// nothing else in the gauge is order-sensitive.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(b)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -20,11 +20,16 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime/debug"
 	"sort"
+
+	"gef/internal/analysis/cfg"
+	"gef/internal/par"
 )
 
 // Analyzer is one named check. Run inspects the pass's package and
@@ -44,6 +49,23 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	cfgs  map[ast.Node]*cfg.Graph
+}
+
+// CFG returns the control-flow graph of fn — an *ast.FuncDecl or
+// *ast.FuncLit — building it on first request and caching it for the
+// pass. Passes are not shared between goroutines (the driver runs one
+// (package, analyzer) pair per pass), so the cache needs no locking.
+func (p *Pass) CFG(fn ast.Node) *cfg.Graph {
+	if g, ok := p.cfgs[fn]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[ast.Node]*cfg.Graph)
+	}
+	g := cfg.FuncGraph(fn)
+	p.cfgs[fn] = g
+	return g
 }
 
 // Reportf records a diagnostic at pos.
@@ -75,29 +97,102 @@ type Diagnostic struct {
 	Message string
 }
 
+// Stats summarizes one Run for CI gauges (BENCH_lint.json): raw
+// finding counts per check before suppression, and how many findings
+// directives suppressed. Raw counts are the honest workload signal — a
+// gate that requires zero surviving findings would otherwise always
+// report zeros.
+type Stats struct {
+	Packages   int            // packages analyzed
+	Analyzers  int            // analyzers run over each package
+	Raw        map[string]int // findings per check, before suppression
+	Suppressed int            // findings dropped by lint:ignore / lint:file-ignore
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics: suppressed findings are dropped, malformed suppression
 // directives are added (check "lint"), and the result is sorted by
 // file, line, column and check for deterministic output.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	sup := newSuppressions(pkgs)
+//
+// The (package, analyzer) pairs run in parallel over internal/par —
+// the lint pass dogfoods the worker pool it audits. Determinism holds
+// because each pair writes its own diagnostic slice, the slices are
+// concatenated in fixed pair order, and the final sort is total.
+//
+// An analyzer that panics does not take down the process and — more
+// importantly for a CI gate — does not silently skip the package: the
+// panic is captured with its stack and returned as an error, which
+// geflint turns into exit code 2.
+func Run(ctx context.Context, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Stats, error) {
+	type pair struct {
+		pkg *Package
+		a   *Analyzer
+	}
+	pairs := make([]pair, 0, len(pkgs)*len(analyzers))
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
-			a.Run(pass)
+			pairs = append(pairs, pair{pkg, a})
 		}
 	}
+
+	perPair := make([][]Diagnostic, len(pairs))
+	errs := make([]error, len(pairs))
+	runOne := func(i int) {
+		p := pairs[i]
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("analysis: analyzer %s panicked on package %s: %v\n%s",
+					p.a.Name, p.pkg.Path, r, debug.Stack())
+			}
+		}()
+		pass := &Pass{
+			Analyzer: p.a,
+			Fset:     p.pkg.Fset,
+			Files:    p.pkg.Files,
+			Pkg:      p.pkg.Types,
+			Info:     p.pkg.Info,
+			diags:    &perPair[i],
+		}
+		p.a.Run(pass)
+	}
+	// One chunk per pair: packages differ wildly in size, so fine
+	// chunks keep workers busy; boundaries are fixed by len(pairs), so
+	// the chunk grid (and thus everything observable) is deterministic.
+	if err := par.For(ctx, len(pairs), len(pairs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			runOne(i)
+		}
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	stats := &Stats{
+		Packages:  len(pkgs),
+		Analyzers: len(analyzers),
+		Raw:       make(map[string]int, len(analyzers)),
+	}
+	for _, a := range analyzers {
+		stats.Raw[a.Name] = 0
+	}
+	var diags []Diagnostic
+	for _, ds := range perPair {
+		diags = append(diags, ds...)
+	}
+	for _, d := range diags {
+		stats.Raw[d.Check]++
+	}
+
+	sup := newSuppressions(pkgs)
 	kept := diags[:0]
 	for _, d := range diags {
-		if !sup.suppressed(d) {
+		if sup.suppressed(d) {
+			stats.Suppressed++
+		} else {
 			kept = append(kept, d)
 		}
 	}
@@ -115,5 +210,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return kept
+	return kept, stats, nil
 }

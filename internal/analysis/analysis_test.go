@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -64,7 +65,10 @@ func funcOf(pkg *analysis.Package, d analysis.Diagnostic) string {
 
 func TestSuppression(t *testing.T) {
 	pkg := loadSuppress(t)
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	diags, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 
 	got := make(map[string][]string) // check → containing functions
 	for _, d := range diags {
@@ -87,7 +91,10 @@ func TestSuppression(t *testing.T) {
 
 func TestRunSortsDiagnostics(t *testing.T) {
 	pkg := loadSuppress(t)
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	diags, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for i := 1; i < len(diags); i++ {
 		a, b := diags[i-1], diags[i]
 		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
@@ -98,7 +105,10 @@ func TestRunSortsDiagnostics(t *testing.T) {
 
 func TestWriteJSON(t *testing.T) {
 	pkg := loadSuppress(t)
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	diags, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 
 	var sb strings.Builder
 	if err := analysis.WriteJSON(&sb, diags, pkg.Dir); err != nil {
@@ -138,7 +148,10 @@ func TestWriteJSON(t *testing.T) {
 
 func TestWriteText(t *testing.T) {
 	pkg := loadSuppress(t)
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	diags, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	var sb strings.Builder
 	if err := analysis.WriteText(&sb, diags, pkg.Dir); err != nil {
 		t.Fatalf("WriteText: %v", err)
@@ -161,5 +174,98 @@ func TestLoadRejectsTypeErrors(t *testing.T) {
 	}
 	if _, err := l.LoadDir(filepath.Join("testdata", "src", "broken"), "golden/broken"); err == nil {
 		t.Fatal("LoadDir of a package with type errors should fail")
+	}
+}
+
+func loadDir(t *testing.T, dir string) *analysis.Package {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", dir), "golden/"+dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return pkg
+}
+
+// TestFileIgnore covers the file-scoped directive: a well-formed
+// //lint:file-ignore waives the named check for its whole file, one
+// with a missing reason waives nothing and is itself reported.
+func TestFileIgnore(t *testing.T) {
+	pkg := loadDir(t, "fileignore")
+	diags, stats, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{cmpAnalyzer})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var cmpFiles []string
+	lintCount := 0
+	for _, d := range diags {
+		switch d.Check {
+		case "cmp":
+			cmpFiles = append(cmpFiles, filepath.Base(d.Pos.Filename))
+		case "lint":
+			lintCount++
+			if !strings.Contains(d.Message, "file-ignore") {
+				t.Errorf("malformed file-ignore message = %q", d.Message)
+			}
+		}
+	}
+	if strings.Join(cmpFiles, ",") != "bad.go" {
+		t.Errorf("surviving cmp findings in %v; want only bad.go (good.go is file-waived, bad.go's directive lacks a reason)", cmpFiles)
+	}
+	if lintCount != 1 {
+		t.Errorf("want exactly one malformed file-ignore diagnostic, got %d", lintCount)
+	}
+	// good.go holds two raw findings, both suppressed by the file directive.
+	if stats.Raw["cmp"] != 3 || stats.Suppressed != 2 {
+		t.Errorf("stats = raw %v suppressed %d; want raw cmp 3, suppressed 2", stats.Raw, stats.Suppressed)
+	}
+}
+
+// TestAnalyzerPanicBecomesError: a panicking analyzer must fail the run
+// loudly (named, with the package), never silently skip the package.
+func TestAnalyzerPanicBecomesError(t *testing.T) {
+	pkg := loadSuppress(t)
+	boom := &analysis.Analyzer{
+		Name: "boom",
+		Doc:  "test analyzer that panics",
+		Run:  func(*analysis.Pass) { panic("kaboom") },
+	}
+	_, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{boom})
+	if err == nil {
+		t.Fatal("Run with a panicking analyzer returned nil error")
+	}
+	for _, want := range []string{"boom", "golden/suppress", "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("panic error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRunParallelDeterministic: repeated parallel runs produce the
+// byte-identical diagnostic sequence.
+func TestRunParallelDeterministic(t *testing.T) {
+	pkgs := []*analysis.Package{loadSuppress(t), loadDir(t, "fileignore")}
+	render := func() string {
+		diags, _, err := analysis.Run(context.Background(), pkgs, []*analysis.Analyzer{cmpAnalyzer})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var sb strings.Builder
+		if err := analysis.WriteText(&sb, diags, ""); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if first == "" {
+		t.Fatal("expected at least one diagnostic from the fixture packages")
 	}
 }

@@ -1,0 +1,539 @@
+// Package cfg builds intraprocedural control-flow graphs from go/ast
+// function bodies and runs forward dataflow analyses over them. It is
+// the flow-sensitive substrate of GEF's static-analysis suite: the
+// syntactic analyzers in internal/analysis/checks can say "this call
+// appears", the CFG lets them say "this call happens on some path but
+// not on all of them" — the distinction that matters for lock balance,
+// sort-before-use and other determinism invariants the test suite only
+// catches on lucky schedules.
+//
+// The graph is built from syntax alone (no type information) and is
+// deliberately conservative: every construct that can transfer control
+// — if/else, for, range, switch, type switch, select, goto, labeled
+// break/continue, fallthrough, return, explicit panic — produces edges,
+// and anything the builder cannot prove terminal falls through
+// sequentially. Function literals are opaque: their bodies are not part
+// of the enclosing function's graph (they execute on their own
+// schedule) and must be analyzed as separate graphs.
+//
+// Two asymmetries are intentional:
+//
+//   - panic(...) gets an edge to Exit, because panicking unwinds
+//     through the function's defers and a fact holding at the panic
+//     site (a held lock, an unsorted slice) is still live during
+//     unwinding;
+//   - os.Exit / log.Fatal* / runtime.Goexit get no edge at all: the
+//     function never resumes and its defers never run, so facts die
+//     with the process.
+//
+// Defer statements appear both in their block (so ordering analyses see
+// where they were registered) and in Graph.Defers (so exit-state
+// analyses can apply them at every path to Exit, which is where the
+// runtime runs them).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body. Blocks[0] is
+// Entry and Blocks[1] is Exit; Exit is virtual — it holds no nodes and
+// collects every return, every fall-off-the-end and every explicit
+// panic edge.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	// Defers lists every defer statement in the body (not inside
+	// nested function literals), in source order. The runtime executes
+	// them on every path to Exit, so exit-state analyses must apply
+	// their effects when inspecting Exit facts.
+	Defers []*ast.DeferStmt
+}
+
+// Block is one basic block: a maximal straight-line sequence of
+// statements and control expressions.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "for.head", "if.then", ... for tests and dumps
+
+	// Ctrl is the statement that owns a head block (the ForStmt for
+	// "for.head", the RangeStmt for "range.head", the switch/select
+	// statement for their heads), nil for ordinary blocks. It lets
+	// analyzers map loop syntax to graph structure without position
+	// arithmetic.
+	Ctrl ast.Stmt
+
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Entries are ast.Stmt or ast.Expr (loop/if
+	// conditions, switch tags, case expressions). Nested *ast.FuncLit
+	// bodies are reachable through these nodes syntactically but are
+	// NOT part of this graph's control flow; analyzers walking Nodes
+	// with ast.Inspect must skip FuncLit subtrees.
+	Nodes []ast.Node
+
+	Succs []*Block
+	Preds []*Block
+}
+
+// New builds the control-flow graph of body. A nil body (a function
+// declared without one) yields the trivial graph entry→exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jumpCur(b.g.Exit)
+	return b.g
+}
+
+// FuncGraph builds the graph for fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit; it panics on anything else so misuse fails loudly in
+// the analyzer's own tests rather than silently analyzing nothing.
+func FuncGraph(fn ast.Node) *Graph {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return New(fn.Body)
+	case *ast.FuncLit:
+		return New(fn.Body)
+	}
+	panic(fmt.Sprintf("cfg: FuncGraph of %T (want *ast.FuncDecl or *ast.FuncLit)", fn))
+}
+
+// String renders the graph structure one block per line, for tests and
+// debugging: "b2 for.head [1 nodes] -> b3 b4".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if len(blk.Nodes) > 0 {
+			fmt.Fprintf(&sb, " [%d nodes]", len(blk.Nodes))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// labelInfo tracks one label: the block it marks (goto target), the
+// break/continue targets when it labels a loop or switch/select, and
+// goto edges seen before the label's definition.
+type labelInfo struct {
+	target       *Block
+	breakTo      *Block
+	continueTo   *Block
+	pendingGotos []*Block
+}
+
+// loopCtx is one entry of the break/continue stack. continueTo is nil
+// for switch and select, which accept break but not continue.
+type loopCtx struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil when the current point is unreachable (after return/break/...)
+	labels map[string]*labelInfo
+	loops  []loopCtx
+	fall   *Block // fallthrough target inside a switch clause
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jumpCur wires the current block (if the point is reachable) to
+// target and marks the point dead.
+func (b *builder) jumpCur(to *Block) {
+	if b.cur != nil {
+		b.jump(b.cur, to)
+	}
+	b.cur = nil
+}
+
+// add appends a node to the current block, reviving a dead point into a
+// fresh unreachable block so dead code still has a home (and analyzers
+// can still report into it).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) labelOf(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		li := b.labelOf(name)
+		lb := b.newBlock("label." + name)
+		b.jumpCur(lb)
+		b.cur = lb
+		li.target = lb
+		for _, from := range li.pendingGotos {
+			b.jump(from, lb)
+		}
+		li.pendingGotos = nil
+		b.stmt(s.Stmt, name)
+
+	case *ast.IfStmt:
+		b.buildIf(s)
+
+	case *ast.ForStmt:
+		b.buildFor(s, label)
+
+	case *ast.RangeStmt:
+		b.buildRange(s, label)
+
+	case *ast.SwitchStmt:
+		var tags []ast.Node
+		if s.Tag != nil {
+			tags = append(tags, s.Tag)
+		}
+		b.buildSwitch(s, s.Init, tags, s.Body.List, label, "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s, s.Init, []ast.Node{s.Assign}, s.Body.List, label, "typeswitch")
+
+	case *ast.SelectStmt:
+		b.buildSelect(s, label)
+
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpCur(b.g.Exit)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			switch terminalKind(call) {
+			case terminalPanic:
+				b.jumpCur(b.g.Exit) // unwinds through defers: facts stay live
+			case terminalExit:
+				b.cur = nil // process/goroutine dies, defers do not run
+			}
+		}
+
+	case *ast.EmptyStmt:
+		// no node, no flow
+
+	default:
+		// DeclStmt, AssignStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+func (b *builder) buildIf(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	thenB := b.newBlock("if.then")
+	b.jump(cond, thenB)
+	b.cur = thenB
+	b.stmt(s.Body, "")
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		elseB := b.newBlock("if.else")
+		b.jump(cond, elseB)
+		b.cur = elseB
+		b.stmt(s.Else, "")
+		elseEnd = b.cur
+	}
+
+	after := b.newBlock("if.after")
+	if thenEnd != nil {
+		b.jump(thenEnd, after)
+	}
+	if hasElse {
+		if elseEnd != nil {
+			b.jump(elseEnd, after)
+		}
+	} else {
+		b.jump(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) buildFor(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	head.Ctrl = s
+	b.jumpCur(head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+
+	body := b.newBlock("for.body")
+	b.jump(head, body)
+	after := b.newBlock("for.after")
+	if s.Cond != nil {
+		b.jump(head, after) // condition can fail; `for {}` has no such edge
+	}
+	cont := head
+	if s.Post != nil {
+		post := b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.jump(post, head)
+		cont = post
+	}
+
+	b.pushLoop(label, after, cont)
+	b.cur = body
+	b.stmt(s.Body, "")
+	b.jumpCur(cont)
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) buildRange(s *ast.RangeStmt, label string) {
+	b.add(s.X) // the ranged expression is evaluated once, before the loop
+	head := b.newBlock("range.head")
+	head.Ctrl = s
+	b.jumpCur(head)
+
+	body := b.newBlock("range.body")
+	b.jump(head, body)
+	after := b.newBlock("range.after")
+	b.jump(head, after) // ranges always terminate (or are empty)
+
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmt(s.Body, "")
+	b.jumpCur(head)
+	b.popLoop()
+	b.cur = after
+}
+
+// buildSwitch handles expression and type switches, which share their
+// clause/fallthrough/default structure.
+func (b *builder) buildSwitch(ctrl ast.Stmt, init ast.Stmt, tags []ast.Node, clauses []ast.Stmt, label, kind string) {
+	if init != nil {
+		b.add(init)
+	}
+	for _, t := range tags {
+		b.add(t)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	head := b.cur
+	head.Ctrl = ctrl
+
+	after := b.newBlock(kind + ".after")
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		cb := b.newBlock(fmt.Sprintf("%s.case%d", kind, i))
+		for _, e := range cc.List {
+			cb.Nodes = append(cb.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.jump(head, cb)
+		caseBlocks[i] = cb
+	}
+	if !hasDefault {
+		b.jump(head, after) // no case matches
+	}
+
+	b.pushLoop(label, after, nil)
+	savedFall := b.fall
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		if i+1 < len(clauses) {
+			b.fall = caseBlocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.stmtList(cc.Body)
+		b.jumpCur(after) // implicit break
+	}
+	b.fall = savedFall
+	b.popLoop()
+	b.cur = after
+}
+
+func (b *builder) buildSelect(s *ast.SelectStmt, label string) {
+	if b.cur == nil {
+		b.cur = b.newBlock("dead")
+	}
+	head := b.cur
+	head.Ctrl = s
+
+	after := b.newBlock("select.after")
+	b.pushLoop(label, after, nil)
+	for i, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		kind := fmt.Sprintf("select.case%d", i)
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		cb := b.newBlock(kind)
+		if cc.Comm != nil {
+			cb.Nodes = append(cb.Nodes, cc.Comm)
+		}
+		b.jump(head, cb)
+		b.cur = cb
+		b.stmtList(cc.Body)
+		b.jumpCur(after)
+	}
+	b.popLoop()
+	// A select with no clauses (or none that exits) blocks forever;
+	// there is deliberately no head→after edge, so `after` is only
+	// reachable through a clause body.
+	b.cur = after
+}
+
+func (b *builder) buildBranch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if t := b.labelOf(s.Label.Name).breakTo; t != nil {
+				b.jumpCur(t)
+				return
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].breakTo != nil {
+					b.jumpCur(b.loops[i].breakTo)
+					return
+				}
+			}
+		}
+		b.cur = nil // malformed source; type checker reports it
+
+	case token.CONTINUE:
+		if s.Label != nil {
+			if t := b.labelOf(s.Label.Name).continueTo; t != nil {
+				b.jumpCur(t)
+				return
+			}
+		} else {
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].continueTo != nil {
+					b.jumpCur(b.loops[i].continueTo)
+					return
+				}
+			}
+		}
+		b.cur = nil
+
+	case token.GOTO:
+		li := b.labelOf(s.Label.Name)
+		if li.target != nil {
+			b.jumpCur(li.target)
+		} else if b.cur != nil {
+			li.pendingGotos = append(li.pendingGotos, b.cur)
+			b.cur = nil
+		}
+
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.jumpCur(b.fall)
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+func (b *builder) pushLoop(label string, breakTo, continueTo *Block) {
+	b.loops = append(b.loops, loopCtx{breakTo: breakTo, continueTo: continueTo})
+	if label != "" {
+		li := b.labelOf(label)
+		li.breakTo = breakTo
+		li.continueTo = continueTo
+	}
+}
+
+func (b *builder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+type terminal int
+
+const (
+	terminalNo terminal = iota
+	terminalPanic
+	terminalExit
+)
+
+// terminalKind classifies calls that end the current control flow. The
+// classification is syntactic — the builder has no type information —
+// which is sound for the builtin panic (shadowing it would be flagged
+// by vet's own checks) and a deliberate heuristic for the process
+// killers.
+func terminalKind(call *ast.CallExpr) terminal {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return terminalPanic
+		}
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			if id, ok := fun.X.(*ast.Ident); ok {
+				switch id.Name {
+				case "os", "log", "runtime":
+					return terminalExit
+				}
+			}
+		}
+	}
+	return terminalNo
+}

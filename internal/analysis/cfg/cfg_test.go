@@ -1,0 +1,436 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFirstFunc parses src (a complete file) and returns the graph of
+// its first function declaration.
+func buildFirstFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return FuncGraph(fd)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// blockByKind returns the first block whose Kind matches exactly.
+func blockByKind(t *testing.T, g *Graph, kind string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			return b
+		}
+	}
+	t.Fatalf("no block of kind %q in:\n%s", kind, g)
+	return nil
+}
+
+// blockContaining returns the block holding a node of the given type.
+func blockContaining[T ast.Node](t *testing.T, g *Graph) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(T); ok {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains the requested node type in:\n%s", g)
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reachable reports whether to is reachable from from along Succs.
+func reachable(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func TestDeferInLoop(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer println(i)
+	}
+	println("done")
+}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1 (defer inside loop recorded once)\n%s", len(g.Defers), g)
+	}
+	head := blockByKind(t, g, "for.head")
+	body := blockByKind(t, g, "for.body")
+	after := blockByKind(t, g, "for.after")
+	post := blockByKind(t, g, "for.post")
+	if !hasEdge(head, body) || !hasEdge(head, after) {
+		t.Errorf("for.head must branch to body and after:\n%s", g)
+	}
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Errorf("body -> post -> head back edge missing:\n%s", g)
+	}
+	// The defer statement itself sits in the loop body, so ordering
+	// analyses see where registration happens.
+	db := blockContaining[*ast.DeferStmt](t, g)
+	if db != body {
+		t.Errorf("defer registered in block %d (%s), want the loop body b%d", db.Index, db.Kind, body.Index)
+	}
+	if head.Ctrl == nil {
+		t.Error("for.head has no Ctrl statement")
+	}
+}
+
+func TestGotoAcrossBlocks(t *testing.T) {
+	// Forward goto jumps over dead code; backward goto forms a loop.
+	g := buildFirstFunc(t, `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+	println("fallthrough path")
+done:
+	println("done")
+	if c {
+		goto done
+	}
+}`)
+	lb := blockByKind(t, g, "label.done")
+	if len(lb.Preds) < 3 {
+		// forward goto, the fallthrough path, and the backward goto
+		t.Errorf("label.done has %d preds, want >= 3:\n%s", len(lb.Preds), g)
+	}
+	// The backward goto creates a cycle through the label block.
+	if !reachable(lb, lb) {
+		t.Errorf("backward goto must make label.done reach itself:\n%s", g)
+	}
+	if !reachable(g.Entry, g.Exit) {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestGotoForwardOnly(t *testing.T) {
+	// Statements between an unconditional goto and its label are dead:
+	// they live in a block with no predecessors.
+	g := buildFirstFunc(t, `package p
+func f() {
+	goto out
+	println("dead")
+out:
+	println("live")
+}`)
+	dead := blockContaining[*ast.ExprStmt](t, g) // first ExprStmt is the dead println
+	if len(dead.Preds) != 0 {
+		t.Errorf("dead code block has %d preds, want 0:\n%s", len(dead.Preds), g)
+	}
+	lb := blockByKind(t, g, "label.out")
+	if len(lb.Preds) == 0 {
+		t.Errorf("label.out must be reachable via the goto:\n%s", g)
+	}
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 1
+	default:
+		return 0
+	}
+}`)
+	// Entry is the select head: one successor per clause, and no
+	// direct edge to select.after (a select never falls through).
+	head := g.Entry
+	if head.Ctrl == nil {
+		t.Fatalf("select head has no Ctrl:\n%s", g)
+	}
+	if len(head.Succs) != 3 {
+		t.Fatalf("select head has %d succs, want 3 (two comms + default):\n%s", len(head.Succs), g)
+	}
+	blockByKind(t, g, "select.default")
+	after := blockByKind(t, g, "select.after")
+	if hasEdge(head, after) {
+		t.Errorf("select head must not edge directly to after:\n%s", g)
+	}
+	if len(after.Preds) != 0 {
+		// every clause returns, so after is unreachable here
+		t.Errorf("select.after has %d preds, want 0 when all clauses return:\n%s", len(after.Preds), g)
+	}
+	// Only the three returning clauses reach exit; the dead after block
+	// also wires to exit syntactically but is unreachable from entry.
+	live := 0
+	for _, p := range g.Exit.Preds {
+		if reachable(g.Entry, p) {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Errorf("exit has %d reachable preds, want 3 (one return per clause):\n%s", live, g)
+	}
+}
+
+func TestSelectWithoutDefaultBlocks(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(a chan int) {
+	select {
+	case <-a:
+		println("got")
+	}
+	println("after")
+}`)
+	head := g.Entry
+	if len(head.Succs) != 1 {
+		t.Fatalf("select head has %d succs, want 1 (single comm, no default):\n%s", len(head.Succs), g)
+	}
+	after := blockByKind(t, g, "select.after")
+	if len(after.Preds) != 1 {
+		t.Errorf("select.after reachable only through the comm clause, got %d preds:\n%s", len(after.Preds), g)
+	}
+}
+
+func TestEarlyReturnInsideRange(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(xs []int) int {
+	for _, v := range xs {
+		if v < 0 {
+			return v
+		}
+	}
+	return 0
+}`)
+	head := blockByKind(t, g, "range.head")
+	body := blockByKind(t, g, "range.body")
+	after := blockByKind(t, g, "range.after")
+	if !hasEdge(head, body) || !hasEdge(head, after) {
+		t.Fatalf("range.head must branch to body and after:\n%s", g)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit has %d preds, want 2 (early return + final return):\n%s", len(g.Exit.Preds), g)
+	}
+	// The early return must leave the loop without passing range.after.
+	var retBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 1 {
+				if id, ok := r.Results[0].(*ast.Ident); ok && id.Name == "v" {
+					retBlock = b
+				}
+			}
+		}
+	}
+	if retBlock == nil {
+		t.Fatalf("early return block not found:\n%s", g)
+	}
+	if !hasEdge(retBlock, g.Exit) {
+		t.Errorf("early return must edge straight to exit:\n%s", g)
+	}
+	if reachable(retBlock, after) {
+		t.Errorf("early return path must not reach range.after:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	println("done")
+}`)
+	heads := 0
+	var outerHead, outerAfter *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			heads++
+			if outerHead == nil {
+				outerHead = b
+			}
+		}
+		if b.Kind == "range.after" && outerAfter == nil {
+			outerAfter = b
+		}
+	}
+	if heads != 2 {
+		t.Fatalf("want 2 range heads, got %d:\n%s", heads, g)
+	}
+	// continue outer: some inner-body block edges back to the outer head
+	// without passing the inner head; break outer: some inner block
+	// edges to the outer after. Both targets must have >= 2 preds.
+	if len(outerHead.Preds) < 3 {
+		// entry via label, body fallthrough, and continue outer
+		t.Errorf("outer range.head has %d preds, want >= 3 (incl. labeled continue):\n%s", len(outerHead.Preds), g)
+	}
+	if len(outerAfter.Preds) < 2 {
+		// cond-false exit and break outer
+		t.Errorf("outer range.after has %d preds, want >= 2 (incl. labeled break):\n%s", len(outerAfter.Preds), g)
+	}
+}
+
+func TestSwitchFallthroughAndPanic(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 0:
+		println("zero")
+		fallthrough
+	case 1:
+		println("one")
+	default:
+		panic("bad")
+	}
+	println("after")
+}`)
+	c0 := blockByKind(t, g, "switch.case0")
+	c1 := blockByKind(t, g, "switch.case1")
+	if !hasEdge(c0, c1) {
+		t.Errorf("fallthrough edge case0 -> case1 missing:\n%s", g)
+	}
+	// default panics: it must edge to exit (unwinding), not to after.
+	def := blockByKind(t, g, "switch.case2")
+	if !hasEdge(def, g.Exit) {
+		t.Errorf("panic clause must edge to exit:\n%s", g)
+	}
+	after := blockByKind(t, g, "switch.after")
+	if hasEdge(def, after) {
+		t.Errorf("panic clause must not fall through to after:\n%s", g)
+	}
+	// All cases covered incl. default: no head->after edge.
+	if hasEdge(g.Entry, after) {
+		t.Errorf("switch with default must not edge head -> after:\n%s", g)
+	}
+}
+
+func TestOsExitHasNoExitEdge(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+import "os"
+func f(c bool) {
+	if c {
+		os.Exit(2)
+	}
+	println("alive")
+}`)
+	// Only the fallthrough path reaches exit: os.Exit kills the process
+	// without running defers, so it contributes no exit predecessor.
+	if len(g.Exit.Preds) != 1 {
+		t.Errorf("exit has %d preds, want 1 (os.Exit path must not unwind):\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+// TestForwardDataflow runs a reaching-blocks analysis (fact = set of
+// visited block indexes, join = union) and checks path-sensitivity at
+// the join and convergence through the loop back edge.
+func TestForwardDataflow(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f(c bool, xs []int) {
+	if c {
+		println("then")
+	} else {
+		println("else")
+	}
+	for _, v := range xs {
+		println(v)
+	}
+}`)
+	type fact = map[int]bool
+	flow := Flow[fact]{
+		Boundary: fact{},
+		Join: func(a, b fact) fact {
+			m := make(fact, len(a)+len(b))
+			for k := range a {
+				m[k] = true
+			}
+			for k := range b {
+				m[k] = true
+			}
+			return m
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(blk *Block, in fact) fact {
+			out := make(fact, len(in)+1)
+			for k := range in {
+				out[k] = true
+			}
+			out[blk.Index] = true
+			return out
+		},
+	}
+	r := flow.Forward(g)
+
+	then := blockByKind(t, g, "if.then")
+	els := blockByKind(t, g, "if.else")
+	if r.In[then.Index][els.Index] || r.In[els.Index][then.Index] {
+		t.Errorf("then/else facts leaked across branches")
+	}
+	exitIn := r.In[g.Exit.Index]
+	if !exitIn[then.Index] || !exitIn[els.Index] {
+		t.Errorf("exit fact must join both branches, got %v", exitIn)
+	}
+	body := blockByKind(t, g, "range.body")
+	if !exitIn[body.Index] {
+		t.Errorf("exit fact must include the loop body via the back edge, got %v", exitIn)
+	}
+	if !r.Reached[g.Exit.Index] {
+		t.Error("exit not reached")
+	}
+}
+
+func TestStringDump(t *testing.T) {
+	g := buildFirstFunc(t, `package p
+func f() { println("x") }`)
+	s := g.String()
+	if !strings.Contains(s, "b0 entry") || !strings.Contains(s, "b1 exit") {
+		t.Errorf("dump missing entry/exit:\n%s", s)
+	}
+}

@@ -1,0 +1,107 @@
+package cfg
+
+// Flow is a forward dataflow problem over a Graph: a join-semilattice
+// of facts F propagated from Entry along edges until fixpoint. The
+// three function fields define the lattice; Transfer defines the
+// per-block semantics.
+//
+// Contract: Join and Transfer must be pure — they must not mutate
+// their arguments, because in-facts are shared between a block and its
+// siblings. Transfer returning its input unchanged is fine; mutating it
+// in place is not. Equal must be reflexive and consistent with Join
+// (Join(a,a) equal a), or the fixpoint loop cannot terminate.
+type Flow[F any] struct {
+	// Boundary is the fact entering Graph.Entry (typically "nothing is
+	// known" / all-unlocked / empty taint set).
+	Boundary F
+	// Join combines facts arriving over multiple predecessors edges.
+	Join func(a, b F) F
+	// Equal reports whether two facts carry the same information; it
+	// terminates the fixpoint iteration.
+	Equal func(a, b F) bool
+	// Transfer computes the fact leaving blk given the fact entering
+	// it, by interpreting blk.Nodes in order.
+	Transfer func(blk *Block, in F) F
+}
+
+// Result holds the fixpoint solution, indexed by Block.Index. In and
+// Out are only meaningful where Reached is true; unreachable blocks
+// keep zero-valued facts.
+type Result[F any] struct {
+	In      []F
+	Out     []F
+	Reached []bool
+}
+
+// Forward solves the dataflow problem to fixpoint with a FIFO worklist
+// seeded at Entry. Processing order is deterministic (worklist order
+// depends only on graph shape), and so therefore is any diagnostic
+// order derived from the Result.
+//
+// Termination: guaranteed for finite lattices with monotone Transfer.
+// As insurance against an analyzer whose Equal/Join violate the
+// contract, iteration is capped at a generous multiple of the graph
+// size; hitting the cap returns the (sound-so-far but possibly
+// unconverged) state rather than hanging the lint gate.
+func (fl Flow[F]) Forward(g *Graph) *Result[F] {
+	n := len(g.Blocks)
+	r := &Result[F]{
+		In:      make([]F, n),
+		Out:     make([]F, n),
+		Reached: make([]bool, n),
+	}
+	hasOut := make([]bool, n)
+
+	r.In[g.Entry.Index] = fl.Boundary
+	r.Reached[g.Entry.Index] = true
+
+	work := make([]*Block, 0, n)
+	inWork := make([]bool, n)
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(g.Entry)
+
+	budget := 64*n*n + 4096
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		if b != g.Entry {
+			var acc F
+			first := true
+			for _, p := range b.Preds {
+				if !hasOut[p.Index] {
+					continue
+				}
+				if first {
+					acc = r.Out[p.Index]
+					first = false
+				} else {
+					acc = fl.Join(acc, r.Out[p.Index])
+				}
+			}
+			if first {
+				continue // no reachable predecessor yet
+			}
+			r.In[b.Index] = acc
+			r.Reached[b.Index] = true
+		}
+
+		out := fl.Transfer(b, r.In[b.Index])
+		if hasOut[b.Index] && fl.Equal(out, r.Out[b.Index]) {
+			continue
+		}
+		r.Out[b.Index] = out
+		hasOut[b.Index] = true
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return r
+}

@@ -14,12 +14,16 @@ import (
 // are added here and become part of the verify.sh gate automatically.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		Ctxdrop,
 		Detrand,
 		Errdrop,
 		Floatcmp,
+		Lockbalance,
+		Maporder,
 		Naninput,
 		Obsmetric,
 		Obsspan,
+		Parcapture,
 		Rawgo,
 		Sliceret,
 	}

@@ -1,0 +1,118 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gef/internal/analysis"
+)
+
+// Ctxdrop guards the deadline plumbing the robust layer depends on.
+// internal/robust's deadlines and par's cancellation only work when the
+// caller's context reaches the blocking/spawning callee; a function
+// that receives a ctx but calls a ctx-accepting callee with
+// context.Background() (or TODO()) silently disconnects everything
+// below it — the request deadline, the CLI -timeout, the trace span
+// parentage — and the hole only shows up when a deadline fires and the
+// subtree keeps running.
+//
+// The check: inside any function whose signature carries a
+// context.Context parameter, a call whose callee accepts a
+// context.Context in its first parameter must not be passed a fresh
+// context.Background()/context.TODO(). Detached work is sometimes
+// intended (background flushes); those sites carry a //lint:ignore with
+// the reason.
+var Ctxdrop = &analysis.Analyzer{
+	Name: "ctxdrop",
+	Doc:  "flags context.Background()/TODO() passed onward when the caller already has a ctx",
+	Run:  runCtxdrop,
+}
+
+func runCtxdrop(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body == nil || isTestFile(pass, fd) || !hasCtxParam(pass, fd.Type) {
+				return false
+			}
+			checkCtxDrop(pass, fd.Body)
+			return false
+		})
+	}
+}
+
+func checkCtxDrop(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested closure with its own ctx parameter re-scopes the
+		// rule; one without still sees the outer ctx, so keep walking.
+		if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, arg)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(arg.Pos(), "context.%s() passed to %s while the enclosing function has a ctx; this drops deadlines, cancellation and span parentage — pass the caller's ctx",
+				fn.Name(), calleeName(pass, call))
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether ft's parameters include a context.Context.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// calleeName renders the called expression for the diagnostic.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the callee"
+}

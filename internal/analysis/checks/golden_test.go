@@ -1,6 +1,7 @@
 package checks
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"regexp"
@@ -69,7 +70,10 @@ func runGolden(t *testing.T, a *analysis.Analyzer, dir string) {
 		t.Fatalf("testdata/src/%s has no want comments; a golden test must assert at least one true positive", dir)
 	}
 
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	diags, _, err := analysis.Run(context.Background(), []*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		w := wants[key]
@@ -89,14 +93,20 @@ func runGolden(t *testing.T, a *analysis.Analyzer, dir string) {
 	}
 }
 
-func TestFloatcmpGolden(t *testing.T) { runGolden(t, Floatcmp, "floatcmp") }
-func TestErrdropGolden(t *testing.T)  { runGolden(t, Errdrop, "errdrop") }
-func TestDetrandGolden(t *testing.T)  { runGolden(t, Detrand, "detrand") }
-func TestNaninputGolden(t *testing.T) { runGolden(t, Naninput, "naninput") }
+func TestFloatcmpGolden(t *testing.T)  { runGolden(t, Floatcmp, "floatcmp") }
+func TestErrdropGolden(t *testing.T)   { runGolden(t, Errdrop, "errdrop") }
+func TestDetrandGolden(t *testing.T)   { runGolden(t, Detrand, "detrand") }
+func TestNaninputGolden(t *testing.T)  { runGolden(t, Naninput, "naninput") }
 func TestObsmetricGolden(t *testing.T) { runGolden(t, Obsmetric, "obsmetric") }
 func TestObsspanGolden(t *testing.T)   { runGolden(t, Obsspan, "obsspan") }
-func TestRawgoGolden(t *testing.T)    { runGolden(t, Rawgo, "rawgo") }
-func TestSliceretGolden(t *testing.T) { runGolden(t, Sliceret, "sliceret") }
+func TestRawgoGolden(t *testing.T)     { runGolden(t, Rawgo, "rawgo") }
+func TestSliceretGolden(t *testing.T)  { runGolden(t, Sliceret, "sliceret") }
+
+// The flow-sensitive quartet built on internal/analysis/cfg.
+func TestLockbalanceGolden(t *testing.T) { runGolden(t, Lockbalance, "lockbalance") }
+func TestMaporderGolden(t *testing.T)    { runGolden(t, Maporder, "maporder") }
+func TestParcaptureGolden(t *testing.T)  { runGolden(t, Parcapture, "parcapture") }
+func TestCtxdropGolden(t *testing.T)     { runGolden(t, Ctxdrop, "ctxdrop") }
 
 // TestByName covers the -checks selection used by the CLI.
 func TestByName(t *testing.T) {

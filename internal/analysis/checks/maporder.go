@@ -1,0 +1,406 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gef/internal/analysis"
+	"gef/internal/analysis/cfg"
+)
+
+// Maporder is the determinism-suite killer hunter: Go randomizes map
+// iteration order per run, so anything order-sensitive computed inside
+// `for k := range m` differs between two processes that must agree —
+// exactly the bitwise-identical-explanations contract the determinism
+// suite asserts at every worker count. The existing detrand check
+// catches direct serialization (fmt/io/json) in map loops; this one is
+// flow-sensitive and catches the accumulation patterns:
+//
+//   - appending to a slice declared outside the loop, UNLESS every
+//     path from the loop to a use of that slice passes it to a sort
+//     (sort.Strings/Slice/..., slices.Sort*) first — the collect-then-
+//     sort idiom is the approved fix and must stay clean;
+//   - building strings (strings.Builder/bytes.Buffer writes, s += ...)
+//     across iterations;
+//   - accumulating floats (t += v): float addition does not commute
+//     bitwise, so even an order-insensitive-looking sum breaks the
+//     determinism gate;
+//   - emitting obs metrics per iteration: flight-recorder events and
+//     float counter increments land in map order.
+//
+// The slice rule runs a forward taint dataflow over the function's
+// control-flow graph: the append taints the slice, a sort call clears
+// it, and any order-sensitive use (return, call argument, range, index)
+// of a maybe-tainted slice is reported. len/cap/append of the tainted
+// slice are order-insensitive and stay clean.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-iteration values reaching appends/strings/metrics without an intervening sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, fn := range funcNodes(f) {
+			if isTestFile(pass, fn.node) {
+				continue
+			}
+			checkMaporder(pass, fn)
+		}
+	}
+}
+
+// mapAppend is one `v = append(v, ...)` under a map range: the seed of
+// the taint analysis.
+type mapAppend struct {
+	assign *ast.AssignStmt
+	obj    types.Object
+	pos    token.Pos
+}
+
+func checkMaporder(pass *analysis.Pass, fn funcNode) {
+	// Collect the map-range statements of this function (not of nested
+	// closures — those are separate funcNodes).
+	var mapRanges []*ast.RangeStmt
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn.node {
+			return false
+		}
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			if t := pass.TypeOf(rng.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					mapRanges = append(mapRanges, rng)
+				}
+			}
+		}
+		return true
+	})
+	if len(mapRanges) == 0 {
+		return
+	}
+
+	appends := make(map[*ast.AssignStmt]*mapAppend)
+	for _, rng := range mapRanges {
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkMapRangeAssign(pass, fn, rng, n, appends)
+			case *ast.CallExpr:
+				checkMapRangeCall(pass, rng, n)
+			}
+			return true
+		})
+	}
+	if len(appends) == 0 {
+		return
+	}
+	runSliceTaint(pass, fn, appends)
+}
+
+// checkMapRangeAssign handles assignment-shaped sinks inside a map
+// range: string/float compound accumulation into an outer variable is
+// reported immediately; slice appends into an outer variable become
+// taint seeds for the sort dataflow.
+func checkMapRangeAssign(pass *analysis.Pass, fn funcNode, rng *ast.RangeStmt, as *ast.AssignStmt, appends map[*ast.AssignStmt]*mapAppend) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := identObj(pass, lhs)
+	if obj == nil || declaredWithin(obj, rng) {
+		return // loop-local: resets every iteration, no cross-iteration order
+	}
+
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		switch basicKind(pass.TypeOf(lhs)) {
+		case "string":
+			pass.Reportf(as.Pos(), "string built up across map iterations; order changes run to run — collect and sort first")
+		case "float":
+			pass.Reportf(as.Pos(), "float accumulated across map iterations; addition order changes the bits — collect and sort, or sum over sorted keys")
+		}
+	case token.ASSIGN:
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+			return
+		}
+		appends[as] = &mapAppend{assign: as, obj: obj, pos: as.Pos()}
+	}
+}
+
+// checkMapRangeCall reports per-iteration emission calls: writer-style
+// string building and obs metric/trace recording. (fmt/io/json
+// serialization is detrand's finding; not duplicated here.)
+func checkMapRangeCall(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvT := pass.TypeOf(sel.X)
+	if recvT == nil {
+		return
+	}
+	switch sel.Sel.Name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+		if neverFailsWriter(recvT) { // strings.Builder / bytes.Buffer
+			pass.Reportf(call.Pos(), "string built in map-iteration order; collect and sort keys before writing")
+		}
+	case "Add", "Inc", "Set", "Observe":
+		if namedInPkg(recvT, "gef/internal/obs") {
+			pass.Reportf(call.Pos(), "metric emitted per map iteration; recorder events and float counters depend on iteration order — iterate sorted keys")
+		}
+	}
+}
+
+// sliceTaint is the dataflow fact: tainted slice objects and the append
+// position that tainted them (kept for join-stable reporting).
+type sliceTaint map[types.Object]token.Pos
+
+func taintJoin(a, b sliceTaint) sliceTaint {
+	out := make(sliceTaint, len(a)+len(b))
+	for o, p := range a {
+		out[o] = p
+	}
+	for o, p := range b {
+		if q, ok := out[o]; !ok || p < q {
+			out[o] = p // smallest position wins: join order independent
+		}
+	}
+	return out
+}
+
+func taintEqual(a, b sliceTaint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for o, p := range a {
+		if q, ok := b[o]; !ok || q != p {
+			return false
+		}
+	}
+	return true
+}
+
+// runSliceTaint solves "does every path sort the accumulated slice
+// before using it" and reports the first unsorted use on each path.
+func runSliceTaint(pass *analysis.Pass, fn funcNode, appends map[*ast.AssignStmt]*mapAppend) {
+	g := pass.CFG(fn.node)
+
+	// apply interprets one block node: taints on the seeding appends,
+	// clears on sorts, and (in the reporting sweep only) reports
+	// order-sensitive uses of tainted objects.
+	apply := func(node ast.Node, fact sliceTaint, report bool) sliceTaint {
+		mutable := false
+		set := func(o types.Object, p token.Pos) {
+			if !mutable {
+				cp := make(sliceTaint, len(fact)+1)
+				for k, v := range fact {
+					cp[k] = v
+				}
+				fact, mutable = cp, true
+			}
+			fact[o] = p
+		}
+		clear := func(o types.Object) {
+			if _, ok := fact[o]; !ok {
+				return
+			}
+			if !mutable {
+				cp := make(sliceTaint, len(fact))
+				for k, v := range fact {
+					cp[k] = v
+				}
+				fact, mutable = cp, true
+			}
+			delete(fact, o)
+		}
+
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // closures run on their own schedule
+			case *ast.AssignStmt:
+				if ma := appends[n]; ma != nil {
+					set(ma.obj, ma.pos)
+					return false // the self-referencing append is not a use
+				}
+				// A plain overwrite (v = nil, v = v[:0], v = fresh())
+				// kills the taint: whatever map-ordered content the
+				// slice held is gone. Clear before descending so the
+				// overwrite's own mentions of v are not uses.
+				if n.Tok == token.ASSIGN && len(n.Lhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if obj := identObj(pass, id); obj != nil {
+							clear(obj)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if obj := sortedArg(pass, n); obj != nil {
+					clear(obj)
+					return false // the sort is the fix, not a use
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					switch id.Name {
+					case "len", "cap", "append", "delete":
+						return false // order-insensitive builtins
+					}
+				}
+			case *ast.Ident:
+				obj := identObj(pass, n)
+				if obj == nil {
+					return true
+				}
+				if p, tainted := fact[obj]; tainted && report {
+					pass.Reportf(n.Pos(), "%s is appended under map iteration (line %d) and used here without sorting; order changes run to run",
+						n.Name, pass.Fset.Position(p).Line)
+					// keep the taint: later uses on this path are the
+					// same root cause but get their own report only in
+					// other blocks
+				}
+			}
+			return true
+		})
+		return fact
+	}
+
+	flow := cfg.Flow[sliceTaint]{
+		Boundary: sliceTaint{},
+		Join:     taintJoin,
+		Equal:    taintEqual,
+		Transfer: func(blk *cfg.Block, in sliceTaint) sliceTaint {
+			fact := in
+			for _, node := range blk.Nodes {
+				fact = apply(node, fact, false)
+			}
+			return fact
+		},
+	}
+	res := flow.Forward(g)
+
+	// Reporting sweep: after the fixpoint, one deterministic pass in
+	// block order, re-interpreting each block from its stable in-fact
+	// with reporting enabled. Every node belongs to exactly one block
+	// and the sweep visits each block once, so each use site reports
+	// at most once.
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] {
+			continue
+		}
+		fact := res.In[blk.Index]
+		for _, node := range blk.Nodes {
+			fact = apply(node, fact, true)
+		}
+	}
+}
+
+// sortedArg returns the object of a slice being sorted by call, or nil:
+// sort.Strings/Ints/Float64s/Slice/SliceStable/Sort/Stable and
+// slices.Sort/SortFunc/SortStableFunc all count.
+func sortedArg(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	ok := false
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			ok = true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			ok = true
+		}
+	}
+	if !ok {
+		return nil
+	}
+	// The sorted value is the first argument, possibly wrapped
+	// (sort.Sort(byLen(keys))): take the first identifier inside it.
+	var obj types.Object
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, isIdent := n.(*ast.Ident); isIdent {
+			if o := identObj(pass, id); o != nil && isSliceObj(o) {
+				obj = o
+				return false
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+func isSliceObj(o types.Object) bool {
+	if o == nil || o.Type() == nil {
+		return false
+	}
+	_, ok := o.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+// identObj resolves an identifier to its object (use or definition).
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's
+// source span.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// basicKind classifies t as "string", "float" or "".
+func basicKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.String, types.UntypedString:
+		return "string"
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return "float"
+	}
+	return ""
+}
+
+// namedInPkg reports whether t (possibly behind a pointer) is a named
+// type declared in pkgPath.
+func namedInPkg(t types.Type, pkgPath string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath
+}

@@ -1,0 +1,155 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+
+	"gef/internal/analysis"
+)
+
+// Parcapture audits the bodies handed to internal/par's primitives.
+// par.For and par.MapReduce run their closures concurrently across
+// chunks, and the package contract says a body "must only write state
+// owned by that range (or by chunk index c)". The -race gate only
+// catches violations when the scheduler happens to overlap two
+// conflicting chunks — on the 1-core CI host it essentially never does
+// — so this analyzer enforces the contract statically:
+//
+//   - a write to a variable captured from the enclosing function
+//     (assignment, v++, compound ops) races between chunks unless the
+//     write targets an element indexed by something chunk-local: the
+//     chunk/lo/hi parameters or a variable declared inside the closure
+//     (a loop variable over [lo, hi));
+//   - writes through chunk-constant indexes (out[0] = ..., out[j] for
+//     captured j) are flagged: every chunk hits the same slot.
+//
+// MapReduce's reduce function is exempt: the driver calls it from one
+// goroutine, folding partials in chunk order.
+var Parcapture = &analysis.Analyzer{
+	Name: "parcapture",
+	Doc:  "flags non-chunk-indexed writes to captured variables inside par.For/MapReduce bodies",
+	Run:  runParcapture,
+}
+
+func runParcapture(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || isTestFile(pass, n) {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "gef/internal/par" {
+				return true
+			}
+			// par.For(ctx, n, chunks, body) / par.MapReduce(ctx, n,
+			// chunks, mapf, reduce): the concurrent closure is arg 3.
+			if (fn.Name() != "For" && fn.Name() != "MapReduce") || len(call.Args) < 4 {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[3]).(*ast.FuncLit); ok {
+				checkParBody(pass, fn.Name(), lit)
+			}
+			return true
+		})
+	}
+}
+
+func checkParBody(pass *analysis.Pass, primitive string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// := introduces closure-locals; writes only race when the
+			// target already exists outside.
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkParWrite(pass, primitive, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkParWrite(pass, primitive, lit, n.X)
+		}
+		return true
+	})
+}
+
+// checkParWrite reports lhs when it writes shared captured state
+// without a chunk-local index on the path to the written element.
+func checkParWrite(pass *analysis.Pass, primitive string, lit *ast.FuncLit, lhs ast.Expr) {
+	if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+		// v[i] = x, v.f = x, v[i].f = x, *p = x ...
+		base, indexed := writeBase(pass, lit, lhs)
+		if base == nil {
+			return
+		}
+		if obj := identObj(pass, base); obj == nil || declaredWithin(obj, lit) {
+			return // closure-local target: owned by this chunk
+		}
+		if indexed {
+			return // some index on the path is chunk-local: range-owned
+		}
+		pass.Reportf(lhs.Pos(), "write to captured %s inside par.%s body is not chunk-indexed; chunks race on it — index by the chunk/loop variable or make it chunk-local",
+			base.Name, primitive)
+		return
+	}
+	// Bare identifier write: v = x, v++, v += x.
+	id := ast.Unparen(lhs).(*ast.Ident)
+	obj := identObj(pass, id)
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "captured %s is written by every chunk of par.%s; accumulate per-chunk state and combine in the reduce step instead",
+		id.Name, primitive)
+}
+
+// writeBase unwraps an lvalue to its base identifier, noting whether
+// any index on the way is chunk-local (references a variable declared
+// inside lit — the chunk/lo/hi params or a loop variable over them).
+func writeBase(pass *analysis.Pass, lit *ast.FuncLit, e ast.Expr) (base *ast.Ident, chunkIndexed bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, chunkIndexed
+		case *ast.IndexExpr:
+			if indexIsChunkLocal(pass, lit, x.Index) {
+				chunkIndexed = true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			// Writing through a captured pointer: treat the pointer as
+			// the base; dereference adds no ownership information.
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// indexIsChunkLocal reports whether idx mentions any variable declared
+// inside the closure — the param list counts, so `chunk`, `lo`, `hi`
+// and loop variables over them all qualify.
+func indexIsChunkLocal(pass *analysis.Pass, lit *ast.FuncLit, idx ast.Expr) bool {
+	local := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		if local {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(pass, id); obj != nil && declaredWithin(obj, lit) {
+				local = true
+				return false
+			}
+		}
+		return true
+	})
+	return local
+}

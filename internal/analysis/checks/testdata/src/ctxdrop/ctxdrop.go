@@ -1,0 +1,71 @@
+// Package ctxdrop is golden-test input for the context-plumbing
+// analyzer.
+package ctxdrop
+
+import "context"
+
+func leaf(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func noCtx(n int) int { return n }
+
+// Passing the caller's ctx through: the whole point. Clean.
+func plumbed(ctx context.Context, n int) int {
+	return leaf(ctx, n)
+}
+
+// Deriving from the caller's ctx keeps the chain. Clean.
+func derived(ctx context.Context, n int) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return leaf(sub, n)
+}
+
+// A fresh Background severs deadline/cancellation from the caller.
+func dropped(ctx context.Context, n int) int {
+	_ = ctx
+	return leaf(context.Background(), n) // want "context.Background\(\) passed to leaf"
+}
+
+// TODO is the same hole with a different name.
+func todoDropped(ctx context.Context, n int) int {
+	_ = ctx
+	return leaf(context.TODO(), n) // want "context.TODO\(\) passed to leaf"
+}
+
+// No ctx in scope: Background is the only honest choice. Clean.
+func entryPoint(n int) int {
+	return leaf(context.Background(), n)
+}
+
+// Callees that don't take a ctx are out of scope. Clean.
+func mixed(ctx context.Context, n int) int {
+	_ = ctx
+	return noCtx(n)
+}
+
+// A closure without its own ctx param still sees the outer one.
+func inClosure(ctx context.Context, n int) int {
+	f := func(x int) int {
+		return leaf(context.Background(), x) // want "context.Background\(\) passed to leaf"
+	}
+	_ = ctx
+	return f(n)
+}
+
+// A closure that takes its own ctx re-scopes the rule; with no outer
+// use of a fresh context there is nothing to flag here.
+func closureWithCtx(n int) func(context.Context) int {
+	return func(ctx context.Context) int {
+		return leaf(ctx, n)
+	}
+}
+
+// Detaching on purpose is fine when the reason is stated.
+func detached(ctx context.Context, n int) int {
+	_ = ctx
+	//lint:ignore ctxdrop flush must outlive the request on purpose
+	return leaf(context.Background(), n)
+}

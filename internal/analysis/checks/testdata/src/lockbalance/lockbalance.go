@@ -1,0 +1,126 @@
+// Package lockbalance is golden-test input for the flow-sensitive
+// mutex balance analyzer.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+type cache struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	entries map[string]int
+}
+
+// Balanced on the straight line: clean.
+func (c *cache) balanced(k string) int {
+	c.mu.Lock()
+	v := c.entries[k]
+	c.mu.Unlock()
+	return v
+}
+
+// Deferred unlock: clean on every path including the early return.
+func (c *cache) deferred(k string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	if !ok {
+		return 0, errors.New("miss")
+	}
+	return v, nil
+}
+
+// Unlock on both branch exits: clean — the analyzer must follow both
+// paths rather than demanding a single textual Unlock.
+func (c *cache) branchBalanced(k string) (int, bool) {
+	c.mu.Lock()
+	if v, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	return 0, false
+}
+
+// Never unlocked at all.
+func (c *cache) leaks(k string) int {
+	c.mu.Lock() // want "c.mu is locked here but never unlocked"
+	return c.entries[k]
+}
+
+// Unlocked on the hit path, leaked on the miss path.
+func (c *cache) leaksOnMiss(k string) (int, error) {
+	c.mu.Lock() // want "not unlocked on every path"
+	if v, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		return v, nil
+	}
+	return 0, errors.New("miss") // forgot the unlock here
+}
+
+// Explicit panic while holding: the panic unwinds without running any
+// unlock, so the lock escapes on that path.
+func (c *cache) leaksOnPanic(k string) int {
+	c.mu.Lock() // want "not unlocked on every path"
+	v, ok := c.entries[k]
+	if !ok {
+		panic("miss")
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// RLock balanced by RUnlock: clean, and independent of the write side.
+func (c *cache) readBalanced(k string) int {
+	c.rw.RLock()
+	v := c.entries[k]
+	c.rw.RUnlock()
+	return v
+}
+
+// RLock "balanced" by Unlock releases the wrong side.
+func (c *cache) readLeaks(k string) int {
+	c.rw.RLock() // want "c.rw/R is locked here but never unlocked"
+	v := c.entries[k]
+	c.rw.Unlock() // wrong side: releases the write lock, not the read lock
+	return v
+}
+
+// Loop with unlock after: the back edge must not confuse the analysis.
+func (c *cache) loopBalanced(keys []string) int {
+	total := 0
+	c.mu.Lock()
+	for _, k := range keys {
+		total += c.entries[k]
+	}
+	c.mu.Unlock()
+	return total
+}
+
+// Lock helpers are exempt by name: handing a held lock to the caller
+// is their contract.
+func (c *cache) lockForUpdate() {
+	c.mu.Lock()
+}
+
+// A nested closure is its own function: its balanced pair must not
+// leak facts into the enclosing function, and vice versa.
+func (c *cache) closures(k string) func() int {
+	get := func() int {
+		c.mu.Lock()
+		v := c.entries[k]
+		c.mu.Unlock()
+		return v
+	}
+	return get
+}
+
+// The enclosing function leaks even though the closure is balanced.
+func (c *cache) closureLeaks(k string) func() {
+	c.mu.Lock() // want "never unlocked"
+	return func() {
+		c.mu.Unlock() // runs later, on the caller's schedule — not on this path
+	}
+}

@@ -1,0 +1,143 @@
+// Package maporder is golden-test input for the flow-sensitive
+// map-iteration-order analyzer.
+package maporder
+
+import (
+	"sort"
+	"strings"
+)
+
+// The approved idiom: collect keys, sort, then use. Must stay clean on
+// every line — flagging this would train people to ignore the check.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collected but returned without sorting: the caller sees a different
+// order every run.
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want "appended under map iteration .* used here without sorting"
+}
+
+// Sorted on one path, raw on the other: flow-sensitivity is the point —
+// a syntactic "is there a sort somewhere" check gets this wrong in both
+// directions.
+func sortedSometimes(m map[string]int, wantSorted bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	if wantSorted {
+		sort.Strings(keys)
+		return keys
+	}
+	return keys // want "appended under map iteration .* used here without sorting"
+}
+
+// Ranging over the unsorted accumulation is a use too.
+func rangeUse(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, k := range keys { // want "appended under map iteration .* used here without sorting"
+		total += len(k)
+	}
+	return total
+}
+
+// sort.Slice with a comparator counts as the fix.
+func sortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// len() of the accumulation is order-insensitive: clean.
+func lenUse(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}
+
+// Overwriting the slice kills the taint: nothing map-ordered survives.
+func overwritten(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = nil
+	return keys
+}
+
+// String building across iterations, two shapes.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up across map iterations"
+	}
+	return s
+}
+
+func builder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "string built in map-iteration order"
+	}
+	return b.String()
+}
+
+// Float accumulation: addition does not commute bitwise.
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulated across map iterations"
+	}
+	return total
+}
+
+// Integer accumulation commutes exactly: clean.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A loop-local accumulator resets every iteration: clean.
+func loopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		joined := ""
+		for _, v := range vs {
+			joined += v
+		}
+		n += len(joined)
+	}
+	return n
+}
+
+// Ranging a slice (not a map) never triggers anything.
+func sliceRange(xs []string) string {
+	s := ""
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

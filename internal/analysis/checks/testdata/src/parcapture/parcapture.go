@@ -1,0 +1,129 @@
+// Package parcapture is golden-test input for the shared-capture
+// analyzer over internal/par closures.
+package parcapture
+
+import (
+	"context"
+
+	"gef/internal/par"
+)
+
+// Chunk-indexed writes: every slot is owned by exactly one iteration of
+// exactly one chunk. Clean.
+func ownedWrites(ctx context.Context, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+	return out
+}
+
+// Writing a per-chunk slot by the chunk parameter. Clean.
+func perChunkSlots(ctx context.Context, n int) []int {
+	partials := make([]int, 64)
+	_ = par.For(ctx, n, 64, func(chunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partials[chunk] += i
+		}
+	})
+	return partials
+}
+
+// A shared scalar accumulated by every chunk: the classic race the
+// -race gate only sees on a cooperative schedule.
+func sharedSum(ctx context.Context, xs []float64) float64 {
+	total := 0.0
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want "captured total is written by every chunk"
+		}
+	})
+	return total
+}
+
+// Chunk-constant index: every chunk writes slot 0.
+func constantSlot(ctx context.Context, xs []float64) float64 {
+	out := make([]float64, 1)
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[0] += xs[i] // want "write to captured out .* is not chunk-indexed"
+		}
+	})
+	return out[0]
+}
+
+// Captured-variable index that is not chunk-local: j means the same
+// slot to every chunk.
+func capturedIndex(ctx context.Context, xs []float64, j int) []float64 {
+	out := make([]float64, len(xs))
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		out[j] = xs[j] // want "write to captured out .* is not chunk-indexed"
+	})
+	return out
+}
+
+// Assigning the captured slice header itself (append reallocates it).
+func appendRace(ctx context.Context, xs []float64) []float64 {
+	var kept []float64
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if xs[i] > 0 {
+				kept = append(kept, xs[i]) // want "captured kept is written by every chunk"
+			}
+		}
+	})
+	return kept
+}
+
+// Closure-local accumulator combined via MapReduce: the approved
+// pattern, must stay clean — including the sequential reduce func.
+func mapReduceClean(ctx context.Context, xs []float64) float64 {
+	total, _ := par.MapReduce(ctx, len(xs), 0,
+		func(_, lo, hi int) float64 {
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += xs[i]
+			}
+			return sum
+		},
+		func(a, b float64) float64 { return a + b })
+	return total
+}
+
+// The mapf of MapReduce is concurrent like a For body.
+func mapReduceShared(ctx context.Context, xs []float64) float64 {
+	seen := 0
+	total, _ := par.MapReduce(ctx, len(xs), 0,
+		func(_, lo, hi int) float64 {
+			seen++ // want "captured seen is written by every chunk"
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += xs[i]
+			}
+			return sum
+		},
+		func(a, b float64) float64 { return a + b })
+	return total + float64(seen)
+}
+
+// Struct-field writes through a chunk-indexed element are owned.
+type cell struct{ v float64 }
+
+func fieldOwned(ctx context.Context, cells []cell) {
+	_ = par.For(ctx, len(cells), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cells[i].v = 1
+		}
+	})
+}
+
+// Struct-field writes on a captured struct are shared.
+type stats struct{ count int }
+
+func fieldShared(ctx context.Context, xs []float64, s *stats) {
+	_ = par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		s.count = len(xs) // want "write to captured s .* is not chunk-indexed"
+	})
+}

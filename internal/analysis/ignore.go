@@ -4,7 +4,8 @@ import (
 	"strings"
 )
 
-// ignorePrefix introduces a suppression directive. The full syntax is
+// ignorePrefix introduces a line-scoped suppression directive. The full
+// syntax is
 //
 //	//lint:ignore check1[,check2...] reason...
 //
@@ -13,23 +14,64 @@ import (
 // can trail the offending statement or sit on the line above.
 const ignorePrefix = "//lint:ignore"
 
+// fileIgnorePrefix introduces a file-scoped suppression directive:
+//
+//	//lint:file-ignore check1[,check2...] reason...
+//
+// It suppresses the named checks everywhere in the file that contains
+// it, wherever the comment sits (conventionally next to the package
+// clause). It exists for generated files and fixture-like sources where
+// per-line directives would outnumber the code. The reason is just as
+// mandatory as for line directives — a file-wide waiver without a
+// recorded justification is exactly the kind of entropy the lint gate
+// exists to prevent.
+const fileIgnorePrefix = "//lint:file-ignore"
+
 type ignoreKey struct {
 	file  string
 	line  int
 	check string
 }
 
+type fileIgnoreKey struct {
+	file  string
+	check string
+}
+
 type suppressions struct {
 	keys      map[ignoreKey]bool
+	fileKeys  map[fileIgnoreKey]bool
 	malformed []Diagnostic
 }
 
 func newSuppressions(pkgs []*Package) *suppressions {
-	s := &suppressions{keys: make(map[ignoreKey]bool)}
+	s := &suppressions{
+		keys:     make(map[ignoreKey]bool),
+		fileKeys: make(map[fileIgnoreKey]bool),
+	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
+					// file-ignore first: ignorePrefix is not a string
+					// prefix of it, but keep the order robust against
+					// future directive names.
+					if rest, ok := strings.CutPrefix(c.Text, fileIgnorePrefix); ok {
+						pos := pkg.Fset.Position(c.Pos())
+						fields := strings.Fields(rest)
+						if len(fields) < 2 {
+							s.malformed = append(s.malformed, Diagnostic{
+								Check:   "lint",
+								Pos:     pos,
+								Message: "malformed //lint:file-ignore directive: want \"//lint:file-ignore <check> <reason>\"",
+							})
+							continue
+						}
+						for _, check := range strings.Split(fields[0], ",") {
+							s.fileKeys[fileIgnoreKey{pos.Filename, check}] = true
+						}
+						continue
+					}
 					if !strings.HasPrefix(c.Text, ignorePrefix) {
 						continue
 					}
@@ -54,9 +96,10 @@ func newSuppressions(pkgs []*Package) *suppressions {
 	return s
 }
 
-// suppressed reports whether d is covered by a directive on its own
-// line or the line directly above.
+// suppressed reports whether d is covered by a file-wide directive or
+// by a line directive on its own line or the line directly above.
 func (s *suppressions) suppressed(d Diagnostic) bool {
-	return s.keys[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+	return s.fileKeys[fileIgnoreKey{d.Pos.Filename, d.Check}] ||
+		s.keys[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
 		s.keys[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -11,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"gef/internal/par"
 )
 
 // Package is one loaded, type-checked package.
@@ -37,8 +40,15 @@ type Loader struct {
 	goVersion  string // "go1.22" style, from go.mod
 
 	std     types.ImporterFrom
-	pkgs    map[string]*Package // import path → loaded package
-	loading map[string]bool     // cycle detection
+	pkgs    map[string]*Package   // import path → loaded package
+	loading map[string]bool       // cycle detection
+	parsed  map[string]parsedFile // filename → pre-parsed AST (see preparse)
+}
+
+// parsedFile is one entry of the pre-parse cache.
+type parsedFile struct {
+	file *ast.File
+	err  error
 }
 
 // NewLoader finds the enclosing module of startDir (by walking up to
@@ -71,6 +81,7 @@ func NewLoader(startDir string) (*Loader, error) {
 		goVersion:  goVersion,
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		parsed:     make(map[string]parsedFile),
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
@@ -129,6 +140,10 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		dirs = append(dirs, d)
 	}
 	sort.Strings(dirs)
+
+	if err := l.preparse(dirs); err != nil {
+		return nil, err
+	}
 
 	var pkgs []*Package
 	for _, dir := range dirs {
@@ -219,6 +234,39 @@ func goFilesIn(dir string) ([]string, error) {
 	return files, nil
 }
 
+// preparse parses every non-test Go file of dirs concurrently over the
+// internal/par pool and fills the parse cache that loadPackage reads.
+// parser.ParseFile against a shared *token.FileSet is documented
+// concurrency-safe; each worker writes only its own chunk of the
+// results slice, and the cache map is filled sequentially afterwards.
+// FileSet base offsets become schedule-dependent, but diagnostics are
+// keyed and sorted by resolved (file, line, col) — never by token.Pos —
+// so reported output stays deterministic at any worker count.
+func (l *Loader) preparse(dirs []string) error {
+	var names []string
+	for _, dir := range dirs {
+		fs, err := goFilesIn(dir)
+		if err != nil {
+			return err
+		}
+		names = append(names, fs...)
+	}
+	results := make([]parsedFile, len(names))
+	err := par.For(context.Background(), len(names), 0, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f, err := parser.ParseFile(l.Fset, names[i], nil, parser.ParseComments|parser.SkipObjectResolution)
+			results[i] = parsedFile{f, err}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		l.parsed[name] = results[i]
+	}
+	return nil
+}
+
 func (l *Loader) loadPackage(importPath, dir string) (*Package, error) {
 	if pkg, ok := l.pkgs[importPath]; ok {
 		return pkg, nil
@@ -238,11 +286,18 @@ func (l *Loader) loadPackage(importPath, dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
+		pf, ok := l.parsed[name]
+		if !ok {
+			// Not covered by preparse (LoadDir packages, module-local
+			// imports pulled in by the type checker outside the
+			// requested patterns): parse inline.
+			f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			pf = parsedFile{f, err}
 		}
-		files = append(files, f)
+		if pf.err != nil {
+			return nil, pf.err
+		}
+		files = append(files, pf.file)
 	}
 
 	info := &types.Info{

@@ -1,0 +1,10 @@
+package fileignore
+
+// A file-ignore without a reason is itself a finding (check "lint")
+// and suppresses nothing: the comparison below must still surface.
+//
+//lint:file-ignore cmp
+
+func unwaived(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,14 @@
+// Package fileignore is driver-test input for the file-scoped
+// suppression directive. This file waives the toy "cmp" check for the
+// whole file, so neither comparison below may surface.
+//
+//lint:file-ignore cmp generated-style fixture; equality noise is expected
+package fileignore
+
+func first(a, b int) bool {
+	return a == b
+}
+
+func second(a, b int) bool {
+	return a != b
+}

@@ -7,11 +7,16 @@ go build ./...
 go vet ./...
 
 # Static-analysis gate. geflint exits 0 when clean, 1 on any finding and
-# 2 on a load/internal error, so with `set -e` a single new diagnostic
-# fails verification. -list documents the registered checks in the log;
-# the -json stream is the machine-readable contract for CI consumers.
+# 2 on a load/internal error or an analyzer panic (reported loudly with
+# a stack trace on stderr), so with `set -e` a single new diagnostic —
+# or a crashing analyzer — fails verification. -list documents the
+# registered checks in the log; the -json stream is the machine-readable
+# contract for CI consumers; -bench times the full pass (load + the
+# twelve analyzers, CFG construction included) and writes the
+# geflint_full_ms gauge plus raw per-analyzer finding counts to
+# BENCH_lint.json so lint-cost regressions show up in review.
 go run ./cmd/geflint -list
-go run ./cmd/geflint -json ./...
+go run ./cmd/geflint -json -bench BENCH_lint.json ./...
 
 go test ./...
 
