@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"gef/internal/dataset"
+	"gef/internal/forest"
 	"gef/internal/gam"
 	"gef/internal/gbdt"
 	"gef/internal/par"
@@ -331,6 +332,49 @@ func TestEngineWarmCacheDeterministicAcrossWorkers(t *testing.T) {
 			cold, warm, _ := runTwice()
 			requireSameFloats(t, "cold predictions", ref, cold, w)
 			requireSameFloats(t, "warm predictions", ref, warm, w)
+		})
+	}
+}
+
+// TestFlatColdVsCompiledDeterministicAcrossWorkers extends the gate to
+// the SoA compilation states (ISSUE 8): a freshly compiled flat forest, a
+// fingerprint-cache-served one, and the quantized layout must all match
+// the serial pointer walk bitwise at every worker count — compilation
+// and cache state, like worker count, must be output-invisible.
+func TestFlatColdVsCompiledDeterministicAcrossWorkers(t *testing.T) {
+	f, ds := trainFixtureForest(t)
+	rows := ds.X[:400]
+
+	// Serial pointer-walk reference: base + trees in tree order per row.
+	ref := make([]float64, len(rows))
+	for i, x := range rows {
+		ref[i] = f.Predict(x)
+	}
+
+	cold := forest.Compile(f)
+	warm := forest.Compiled(f) // fingerprint-keyed cache entry
+	quant, err := forest.CompileQuantized(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flats := []struct {
+		name string
+		fl   *forest.Flat
+	}{{"cold", cold}, {"compiled", warm}, {"quantized", quant}}
+
+	var refImp []float64
+	atWorkers(t, 1, func() { refImp = shap.GlobalImportance(f, ds.X[:100]) })
+
+	for _, w := range workerCounts() {
+		atWorkers(t, w, func() {
+			requireSameFloats(t, "batch predictions", ref, f.PredictBatch(rows), w)
+			for _, c := range flats {
+				out := make([]float64, len(rows))
+				c.fl.PredictBatchInto(rows, out)
+				requireSameFloats(t, c.name+" flat predictions", ref, out, w)
+			}
+			requireSameFloats(t, "flat-backed shap importance",
+				refImp, shap.GlobalImportance(f, ds.X[:100]), w)
 		})
 	}
 }

@@ -497,13 +497,25 @@ func isCategorical(thresholds []float64, l int) bool {
 // the GAM and of the forest against the dataset's labels, and the R² of
 // the GAM against the forest's predictions.
 func (e *Explanation) EvaluateOn(ds *dataset.Dataset) Table2Row {
-	forestPred := e.Forest.PredictBatch(ds.X)
+	//lint:ignore errdrop background context cannot be canceled
+	row, _ := e.EvaluateOnCtx(context.Background(), ds)
+	return row
+}
+
+// EvaluateOnCtx is EvaluateOn with the caller's context threaded into
+// the forest's batched prediction kernels, so deadlines cancel the
+// traversal itself. Returns ctx.Err() if canceled.
+func (e *Explanation) EvaluateOnCtx(ctx context.Context, ds *dataset.Dataset) (Table2Row, error) {
+	forestPred, err := e.Forest.PredictBatchCtx(ctx, ds.X)
+	if err != nil {
+		return Table2Row{}, robust.CtxErr(err)
+	}
 	gamPred := e.Model.PredictBatch(ds.X)
 	return Table2Row{
 		ForestVsLabels: stats.R2(forestPred, ds.Y),
 		GamVsForest:    stats.R2(gamPred, forestPred),
 		GamVsLabels:    stats.R2(gamPred, ds.Y),
-	}
+	}, nil
 }
 
 // Table2Row holds the three R² numbers of the paper's Table 2 for one

@@ -166,7 +166,10 @@ func RunExtraRandomForest(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := e.EvaluateOn(test)
+	row, err := e.EvaluateOnCtx(p.Context(), test)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{ID: "extra-rf", Title: "GEF on a Random Forest (paper §6 future work)"}
 	tab := Table{Name: "fidelity", Header: []string{"model", "R² vs T(x)", "R² vs y"}}
 	tab.AddRow("Random Forest (T)", "-", f3(row.ForestVsLabels))

@@ -262,7 +262,10 @@ func RunFig10(p Params) (*Report, error) {
 
 	// Probability-scale agreement on original data.
 	gp := e.Model.PredictBatch(test.X)
-	fp := f.PredictBatch(test.X)
+	fp, err := f.PredictBatchCtx(p.Context(), test.X)
+	if err != nil {
+		return nil, err
+	}
 	r.Notes = append(r.Notes, fmt.Sprintf("probability agreement on original test data: RMSE %.4f", stats.RMSE(gp, fp)))
 
 	sample := train.X

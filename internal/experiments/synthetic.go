@@ -414,7 +414,10 @@ func RunTable2(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	row1 := e1.EvaluateOn(test1)
+	row1, err := e1.EvaluateOnCtx(p.Context(), test1)
+	if err != nil {
+		return nil, err
+	}
 	tab.AddRow("D'", "Forest (T)", "-", f3(row1.ForestVsLabels))
 	tab.AddRow("D'", "Explainer (GAM)", f3(row1.GamVsForest), f3(row1.GamVsLabels))
 
@@ -435,7 +438,10 @@ func RunTable2(p Params) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	row2 := e2.EvaluateOn(test2)
+	row2, err := e2.EvaluateOnCtx(p.Context(), test2)
+	if err != nil {
+		return nil, err
+	}
 	tab.AddRow("D''", "Forest (T)", "-", f3(row2.ForestVsLabels))
 	tab.AddRow("D''", "Explainer (GAM)", f3(row2.GamVsForest), f3(row2.GamVsLabels))
 	r.Tables = append(r.Tables, tab)

@@ -1,0 +1,756 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gef/internal/obs"
+)
+
+// Flat is a cache-friendly structure-of-arrays compilation of a Forest.
+// Every tree's nodes are laid out breadth-first in shared contiguous
+// slices with sibling pairs adjacent — each internal node stores a
+// single child base kids, its right child, with the left child at
+// kids+1 — so one walk step is the fully branchless
+//
+//	i = kids + (x[feature] <= threshold ? 1 : 0)
+//
+// where the comparison materializes as a flag byte (UCOMISD+SETcc on
+// amd64), never a data-dependent jump: random 50/50 split outcomes cost
+// an add, not a ~15-cycle branch mispredict. The traversal-hot fields —
+// threshold, feature, kids and the quantized threshold code — are packed
+// into one 24-byte flatNode record (a third of the 72-byte Node struct);
+// cold fields (leaf value, cover, original node index) stay in separate
+// slices read only after walks finish.
+//
+// Leaves are encoded as arithmetic self-loops: kids = own index − 1 and
+// threshold = +Inf, so the select yields le = 1 and the walk stays put —
+// which lets the batched kernels advance a whole block of rows for
+// exactly the tree's precomputed max depth with no per-step leaf test.
+// The one input that breaks the le = 1 invariant is NaN (every float
+// comparison is false), so blocks containing NaN rows take the
+// early-exit scalar walk instead; both walks route identically, the
+// choice depends only on row contents, and the quantized mode needs no
+// fallback at all (NaN encodes as the maximal row code and leaves carry
+// code 65535). Kernels walk four rows abreast so the four independent
+// node→feature load chains overlap in the pipeline instead of
+// serializing on cache latency.
+//
+// The layout is the tensorized-forest idea (split the node struct into
+// parallel arrays, amortize one tree walk over a batch of rows) applied
+// to GEF's hot paths: D* labeling, TreeSHAP leaf/cover lookups, PDP
+// grids and GBDT raw-score updates all stream these arrays instead of
+// walking []Node one row at a time. Because nodes are reordered, Flat
+// indices differ from Tree indices; OrigIndex maps back.
+//
+// A Flat is immutable after compilation and safe for concurrent use.
+// Compile assumes a validated forest (Forest.Validate): child indices in
+// range and acyclic.
+type Flat struct {
+	NumFeatures int
+	NumTrees    int
+	BaseScore   float64
+	Objective   Objective
+
+	nodes    []flatNode // per node: packed traversal-hot record
+	value    []float64  // per node: leaf value (internal nodes: 0)
+	cover    []float64  // per node: training cover (TreeSHAP weights)
+	orig     []int32    // per node: original index within its Tree.Nodes
+	offset   []int32    // per tree: first node index; len NumTrees+1
+	maxDepth []int32    // per tree: max root-to-leaf depth
+	treeMean []float64  // per tree: cover-weighted mean leaf value (E[t])
+
+	// Quantized-threshold mode (CompileQuantized): per-feature sorted
+	// distinct threshold tables; each node's uint16 code rides in its
+	// flatNode. A row value is encoded once per feature as the
+	// lower-bound index into the table; the walk then compares integer
+	// codes, which routes bitwise identically to the float compare (see
+	// CompileQuantized).
+	cuts [][]float64 // per feature: sorted distinct thresholds; nil in float mode
+}
+
+// flatNode is the packed per-node traversal record: 24 bytes, so one
+// 64-byte cache line holds ~2.7 nodes and a 16-leaf tree's 31 nodes fit
+// in a dozen lines. The quantized threshold code lives in what would
+// otherwise be struct padding.
+type flatNode struct {
+	threshold float64 // split threshold; +Inf for leaves
+	feature   int32   // split feature; 0 for leaves (never decisive)
+	kids      int32   // absolute right-child index (left at kids+1); own index − 1 for leaves
+	code      uint16  // quantized rank of threshold within cuts[feature]; 65535 for leaves
+	_         uint16
+}
+
+// rowBlock is the number of rows a batched kernel advances per tree
+// walk: large enough to amortize the tree's arrays staying hot in L1,
+// small enough that the block's rows and leaf-index scratch stay
+// resident too.
+const rowBlock = 128
+
+// branchlessDepthCutoff bounds the fixed-depth (leaf-test-free) walk:
+// beyond it a pathologically deep tree would make every row pay the
+// full depth, so the kernel falls back to an early-exit walk. The
+// choice depends only on the tree, never on the data, so it cannot
+// affect results.
+const branchlessDepthCutoff = 64
+
+// maxQuantCuts caps the distinct thresholds per feature the quantized
+// mode can encode: row codes span [0, cuts] inclusive and must fit in
+// uint16, so cuts ≤ 65534.
+const maxQuantCuts = math.MaxUint16 - 1
+
+// Metrics instruments (hoisted; see internal/obs). Compile cost lands
+// in forest.flat_compile_ms; kernel row counts are labeled by kernel so
+// the scrape separates leaf assignment from prediction traffic.
+var (
+	mFlatCompileMs = obs.Metrics().Histogram("forest.flat_compile_ms")
+	mFlatCompiles  = obs.Metrics().CounterVec("forest.flat_compiles", "mode")
+	mFlatCacheHits = obs.Metrics().CounterVec("forest.flat_cache_hits", "mode")
+	mFlatKernel    = obs.Metrics().CounterVec("forest.flat_kernel_rows", "kernel")
+
+	mKernelLeaves  = mFlatKernel.With("leaves")
+	mKernelRaw     = mFlatKernel.With("raw")
+	mKernelPredict = mFlatKernel.With("predict")
+	mKernelAddRaw  = mFlatKernel.With("add_raw")
+)
+
+// Compile builds the structure-of-arrays representation of f. It walks
+// every node exactly once (plus one explicit-stack depth/mean pass per
+// tree) and performs no caching — see Compiled for the
+// fingerprint-keyed cache.
+func Compile(f *Forest) *Flat {
+	start := time.Now()
+	fl := compileBase(f)
+	mFlatCompileMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	mFlatCompiles.With("float").Inc()
+	return fl
+}
+
+// CompileQuantized builds a Flat whose traversal compares uint16
+// threshold codes instead of float64 thresholds. For each feature the
+// sorted distinct threshold table T is extracted; a node splitting at
+// T[c] stores code c, and a row value x encodes as
+// code(x) = lower_bound(T, x) — the first index with T[k] ≥ x. Then
+//
+//	x ≤ T[c]  ⇔  code(x) ≤ c
+//
+// exactly: c ≥ code(x) implies T[c] ≥ x by the lower-bound definition,
+// and c < code(x) implies T[c] < x. NaN row values encode as len(T)
+// (every comparison in the search is false), which routes right at
+// every split — the same path the float compare takes. Quantized
+// routing is therefore bitwise identical to the float path by
+// construction; the parity fuzz target verifies it leaf-for-leaf.
+//
+// Fails when any feature has more than 65534 distinct thresholds.
+func CompileQuantized(f *Forest) (*Flat, error) {
+	start := time.Now()
+	fl := compileBase(f)
+	fl.cuts = make([][]float64, f.NumFeatures)
+	for j, v := range f.ThresholdsByFeature() {
+		distinct := dedupeSortedCuts(v)
+		if len(distinct) > maxQuantCuts {
+			return nil, fmt.Errorf("forest: feature %d has %d distinct thresholds, quantized mode supports at most %d", j, len(distinct), maxQuantCuts)
+		}
+		fl.cuts[j] = distinct
+	}
+	for i := range fl.nodes {
+		n := &fl.nodes[i]
+		if n.kids < int32(i) {
+			continue // leaf: code stays 65535 so le = 1 and the self-loop holds
+		}
+		// The node's threshold is a member of its feature's table, so the
+		// lower bound lands exactly on it (== on bit-identical copies;
+		// −0.0/+0.0 aliasing is harmless because x ≤ −0.0 ⇔ x ≤ +0.0).
+		n.code = uint16(lowerBound(fl.cuts[n.feature], n.threshold))
+	}
+	mFlatCompileMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	mFlatCompiles.With("quantized").Inc()
+	return fl, nil
+}
+
+// compileBase fills the SoA arrays, offsets, max depths and tree means.
+// Within each tree, nodes are re-laid-out breadth-first with each
+// internal node's children adjacent (right first, so left = kids+1 —
+// matching the le ∈ {0,1} arithmetic select); orig records the original
+// in-tree index of every slot.
+func compileBase(f *Forest) *Flat {
+	total := f.NumNodes()
+	fl := &Flat{
+		NumFeatures: f.NumFeatures,
+		NumTrees:    len(f.Trees),
+		BaseScore:   f.BaseScore,
+		Objective:   f.Objective,
+		nodes:       make([]flatNode, total),
+		value:       make([]float64, total),
+		cover:       make([]float64, total),
+		orig:        make([]int32, total),
+		offset:      make([]int32, len(f.Trees)+1),
+		maxDepth:    make([]int32, len(f.Trees)),
+		treeMean:    make([]float64, len(f.Trees)),
+	}
+	off := int32(0)
+	var order []int32 // slot → original index, reused across trees
+	for ti := range f.Trees {
+		fl.offset[ti] = off
+		nodes := f.Trees[ti].Nodes
+		// BFS slot assignment: dequeuing an internal node appends its
+		// right then left child, so sibling pairs land adjacent and
+		// every child slot follows its parent's.
+		order = append(order[:0], 0)
+		for s := 0; s < len(order); s++ {
+			if n := &nodes[order[s]]; !n.IsLeaf() {
+				order = append(order, int32(n.Right), int32(n.Left))
+			}
+		}
+		slotOf := make([]int32, len(nodes)) // original index → slot
+		for slot, o := range order {
+			slotOf[o] = int32(slot)
+		}
+		for slot, o := range order {
+			n := &nodes[o]
+			i := off + int32(slot)
+			fl.cover[i] = n.Cover
+			fl.orig[i] = o
+			if n.IsLeaf() {
+				fl.nodes[i] = flatNode{threshold: math.Inf(1), kids: i - 1, code: math.MaxUint16}
+				fl.value[i] = n.Value
+			} else {
+				fl.nodes[i] = flatNode{
+					threshold: n.Threshold,
+					feature:   int32(n.Feature),
+					kids:      off + slotOf[n.Right],
+				}
+			}
+		}
+		fl.maxDepth[ti] = int32(treeDepthIter(nodes))
+		fl.treeMean[ti] = treeMeanIter(nodes)
+		off += int32(len(nodes))
+	}
+	fl.offset[len(f.Trees)] = off
+	return fl
+}
+
+// treeMeanIter computes the cover-weighted mean leaf value of the tree
+// by explicit-stack post-order, evaluating the exact expression the
+// path-dependent TreeSHAP expectation uses per node —
+// (coverL·E_L + coverR·E_R)/cover — so the result is bit-identical to
+// the recursive formulation it replaces.
+func treeMeanIter(nodes []Node) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	e := make([]float64, len(nodes))
+	type frame struct {
+		i    int32
+		post bool
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{0, false})
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &nodes[fr.i]
+		if n.IsLeaf() {
+			e[fr.i] = n.Value
+			continue
+		}
+		if !fr.post {
+			stack = append(stack, frame{fr.i, true},
+				frame{int32(n.Left), false}, frame{int32(n.Right), false})
+			continue
+		}
+		l, r := &nodes[n.Left], &nodes[n.Right]
+		e[fr.i] = (l.Cover*e[n.Left] + r.Cover*e[n.Right]) / n.Cover
+	}
+	return e[0]
+}
+
+// dedupeSortedCuts collapses exact duplicates in a sorted threshold
+// multiset (duplicates are bit-identical copies of the same split value,
+// so == is the right comparison).
+func dedupeSortedCuts(sorted []float64) []float64 {
+	out := make([]float64, 0, len(sorted))
+	for i, v := range sorted {
+		//lint:ignore floatcmp dedupe of sorted thresholds; duplicates are bit-identical copies
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// lowerBound returns the first index with cuts[k] ≥ x (len(cuts) when
+// none, including for NaN x: every comparison is false).
+func lowerBound(cuts []float64, x float64) int {
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cuts[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Quantized reports whether fl carries the uint16 threshold codes.
+func (fl *Flat) Quantized() bool { return fl.cuts != nil }
+
+// NumNodes returns the total node count across all trees.
+func (fl *Flat) NumNodes() int { return len(fl.nodes) }
+
+// TreeRoot returns the absolute index of tree t's root node.
+func (fl *Flat) TreeRoot(t int) int32 { return fl.offset[t] }
+
+// TreeNodes returns the number of nodes in tree t.
+func (fl *Flat) TreeNodes(t int) int { return int(fl.offset[t+1] - fl.offset[t]) }
+
+// TreeMaxDepth returns the precomputed max root-to-leaf depth of tree t.
+func (fl *Flat) TreeMaxDepth(t int) int { return int(fl.maxDepth[t]) }
+
+// TreeMean returns tree t's cover-weighted mean leaf value — the
+// path-dependent E[t] TreeSHAP uses as the per-tree base.
+func (fl *Flat) TreeMean(t int) float64 { return fl.treeMean[t] }
+
+// IsLeaf reports whether absolute node i is a leaf. Children are always
+// laid out after their parent, so kids < i exactly for leaves (which
+// store kids = i−1).
+func (fl *Flat) IsLeaf(i int32) bool { return fl.nodes[i].kids < i }
+
+// Feature returns node i's split feature (meaningless for leaves).
+func (fl *Flat) Feature(i int32) int32 { return fl.nodes[i].feature }
+
+// Threshold returns node i's split threshold (+Inf for leaves).
+func (fl *Flat) Threshold(i int32) float64 { return fl.nodes[i].threshold }
+
+// Left returns node i's absolute left-child index (self for leaves).
+func (fl *Flat) Left(i int32) int32 {
+	if k := fl.nodes[i].kids; k > i {
+		return k + 1
+	}
+	return i
+}
+
+// Right returns node i's absolute right-child index (self for leaves).
+func (fl *Flat) Right(i int32) int32 {
+	if k := fl.nodes[i].kids; k > i {
+		return k
+	}
+	return i
+}
+
+// OrigIndex returns the index node i had within its Tree.Nodes before
+// the breadth-first re-layout — the mapping back to pointer-walk space.
+func (fl *Flat) OrigIndex(i int32) int32 { return fl.orig[i] }
+
+// Cover returns node i's training cover.
+func (fl *Flat) Cover(i int32) float64 { return fl.cover[i] }
+
+// Value returns node i's leaf value (0 for internal nodes).
+func (fl *Flat) Value(i int32) float64 { return fl.value[i] }
+
+// Leaf evaluates tree t on x and returns the absolute index of the leaf
+// reached (early-exit walk; the batched kernels are the hot path).
+func (fl *Flat) Leaf(t int, x []float64) int32 {
+	return leafFrom(fl.nodes, fl.offset[t], x)
+}
+
+// leafFrom is the early-exit single-row walk from root over the packed
+// node records. Left iff x ≤ threshold: the same comparison the pointer
+// walk uses, so NaN (every compare false) routes right on both paths —
+// this walk, unlike the fixed-depth kernel, is NaN-safe because it stops
+// at the leaf instead of relying on the le = 1 self-loop.
+func leafFrom(nodes []flatNode, root int32, x []float64) int32 {
+	i := root
+	for {
+		n := &nodes[i]
+		k := n.kids
+		if k < i {
+			return i
+		}
+		if x[n.feature] <= n.threshold {
+			k++
+		}
+		i = k
+	}
+}
+
+// RawPredict returns the untransformed additive score for a single row.
+func (fl *Flat) RawPredict(x []float64) float64 {
+	s := fl.BaseScore
+	for t := 0; t < fl.NumTrees; t++ {
+		s += fl.value[fl.Leaf(t, x)]
+	}
+	return s
+}
+
+// Predict returns the single-row prediction on the response scale,
+// applying the same Sigmoid the pointer path uses for binary forests.
+func (fl *Flat) Predict(x []float64) float64 {
+	raw := fl.RawPredict(x)
+	if fl.Objective == BinaryLogistic {
+		return Sigmoid(raw)
+	}
+	return raw
+}
+
+// walkBlock advances one block of rows through tree t, leaving each
+// row's leaf index in idx (len(idx) == len(rows)). The fixed-depth
+// kernel steps every row exactly maxDepth times, finished rows spinning
+// harmlessly on their leaf's self-loop, so the inner loop carries no
+// leaf test and no data-dependent branch at all: the ≤-threshold select
+// materializes as a flag byte (le ∈ {0,1}) added to the child base.
+// Rows advance four abreast in registers — the four walks are
+// independent, so their dependent node→feature load chains overlap
+// instead of serializing on cache latency. Deep trees (beyond the
+// cutoff) and NaN-bearing blocks (which break the leaf self-loop
+// invariant, see the Flat doc comment) fall back to the early-exit
+// walk, which routes identically. The unroll only reorders independent
+// per-row walks, never any floating-point accumulation, so results are
+// identical at any block shape. cs is the quantized row-code scratch
+// (nil on the float path).
+func (fl *Flat) walkBlock(t int, rows [][]float64, idx []int32, cs []uint16, hasNaN bool) {
+	if cs != nil {
+		fl.walkBlockQ(t, idx, cs)
+		return
+	}
+	root := fl.offset[t]
+	nodes := fl.nodes
+	d := fl.maxDepth[t]
+	if d > branchlessDepthCutoff || hasNaN {
+		for r, x := range rows {
+			idx[r] = leafFrom(nodes, root, x)
+		}
+		return
+	}
+	r := 0
+	for ; r+4 <= len(rows); r += 4 {
+		x0, x1, x2, x3 := rows[r], rows[r+1], rows[r+2], rows[r+3]
+		i0, i1, i2, i3 := root, root, root, root
+		for k := d; k > 0; k-- {
+			n0 := &nodes[i0]
+			le0 := int32(0)
+			if x0[n0.feature] <= n0.threshold {
+				le0 = 1
+			}
+			i0 = n0.kids + le0
+			n1 := &nodes[i1]
+			le1 := int32(0)
+			if x1[n1.feature] <= n1.threshold {
+				le1 = 1
+			}
+			i1 = n1.kids + le1
+			n2 := &nodes[i2]
+			le2 := int32(0)
+			if x2[n2.feature] <= n2.threshold {
+				le2 = 1
+			}
+			i2 = n2.kids + le2
+			n3 := &nodes[i3]
+			le3 := int32(0)
+			if x3[n3.feature] <= n3.threshold {
+				le3 = 1
+			}
+			i3 = n3.kids + le3
+		}
+		idx[r], idx[r+1], idx[r+2], idx[r+3] = i0, i1, i2, i3
+	}
+	for ; r < len(rows); r++ {
+		x := rows[r]
+		i := root
+		for k := d; k > 0; k-- {
+			n := &nodes[i]
+			le := int32(0)
+			if x[n.feature] <= n.threshold {
+				le = 1
+			}
+			i = n.kids + le
+		}
+		idx[r] = i
+	}
+}
+
+// walkBlockQ is walkBlock over pre-encoded uint16 row codes: cs holds
+// len(idx) rows of NumFeatures codes each (see encodeBlock). Left iff
+// code(x) ≤ code(threshold) — exactly the float ≤ by the lower-bound
+// construction (see CompileQuantized). No NaN fallback is needed: NaN
+// encodes as len(cuts) ≤ 65534 and leaves carry code 65535, so le = 1
+// holds at every leaf for every input.
+func (fl *Flat) walkBlockQ(t int, idx []int32, cs []uint16) {
+	root := fl.offset[t]
+	nodes := fl.nodes
+	nf := fl.NumFeatures
+	d := fl.maxDepth[t]
+	if d > branchlessDepthCutoff {
+		for r := range idx {
+			i := root
+			row := cs[r*nf : (r+1)*nf]
+			for {
+				n := &nodes[i]
+				k := n.kids
+				if k < i {
+					break
+				}
+				if row[n.feature] <= n.code {
+					k++
+				}
+				i = k
+			}
+			idx[r] = i
+		}
+		return
+	}
+	r := 0
+	for ; r+4 <= len(idx); r += 4 {
+		c0 := cs[r*nf : (r+1)*nf]
+		c1 := cs[(r+1)*nf : (r+2)*nf]
+		c2 := cs[(r+2)*nf : (r+3)*nf]
+		c3 := cs[(r+3)*nf : (r+4)*nf]
+		i0, i1, i2, i3 := root, root, root, root
+		for k := d; k > 0; k-- {
+			n0 := &nodes[i0]
+			le0 := int32(0)
+			if c0[n0.feature] <= n0.code {
+				le0 = 1
+			}
+			i0 = n0.kids + le0
+			n1 := &nodes[i1]
+			le1 := int32(0)
+			if c1[n1.feature] <= n1.code {
+				le1 = 1
+			}
+			i1 = n1.kids + le1
+			n2 := &nodes[i2]
+			le2 := int32(0)
+			if c2[n2.feature] <= n2.code {
+				le2 = 1
+			}
+			i2 = n2.kids + le2
+			n3 := &nodes[i3]
+			le3 := int32(0)
+			if c3[n3.feature] <= n3.code {
+				le3 = 1
+			}
+			i3 = n3.kids + le3
+		}
+		idx[r], idx[r+1], idx[r+2], idx[r+3] = i0, i1, i2, i3
+	}
+	for ; r < len(idx); r++ {
+		row := cs[r*nf : (r+1)*nf]
+		i := root
+		for k := d; k > 0; k-- {
+			n := &nodes[i]
+			le := int32(0)
+			if row[n.feature] <= n.code {
+				le = 1
+			}
+			i = n.kids + le
+		}
+		idx[r] = i
+	}
+}
+
+// rowsHaveNaN reports whether any coordinate in the block is NaN — the
+// one input class the fixed-depth self-loop walk cannot route; such
+// blocks take the early-exit walk instead. The scan depends only on row
+// contents, so which walk runs can never vary with worker count.
+func rowsHaveNaN(rows [][]float64) bool {
+	for _, x := range rows {
+		for _, v := range x {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// encodeBlock quantizes a block of rows into cs: row r, feature j lands
+// at cs[r*NumFeatures+j]. One encode pass per block is amortized over
+// every tree walk in the block.
+func (fl *Flat) encodeBlock(rows [][]float64, cs []uint16) {
+	nf := fl.NumFeatures
+	for r, x := range rows {
+		base := r * nf
+		for j := 0; j < nf; j++ {
+			cuts := fl.cuts[j]
+			if len(cuts) == 0 {
+				cs[base+j] = 0
+				continue
+			}
+			cs[base+j] = uint16(lowerBound(cuts, x[j]))
+		}
+	}
+}
+
+// LeavesBatch evaluates every tree on every row and writes the absolute
+// leaf index of row r in tree t to out[r*NumTrees+t]. out must have
+// length len(xs)*NumTrees. Rows are processed in fixed-size blocks,
+// each block walked tree-by-tree through a reused leaf-index scratch
+// buffer, so one tree's arrays serve a whole block of rows before the
+// next tree is touched.
+func (fl *Flat) LeavesBatch(xs [][]float64, out []int32) {
+	if len(out) != len(xs)*fl.NumTrees {
+		panic(fmt.Sprintf("forest: LeavesBatch out has length %d, want rows×trees = %d", len(out), len(xs)*fl.NumTrees))
+	}
+	mKernelLeaves.Add(int64(len(xs)))
+	var idx [rowBlock]int32
+	cs := fl.blockCodes()
+	nt := fl.NumTrees
+	for lo := 0; lo < len(xs); lo += rowBlock {
+		hi := min(lo+rowBlock, len(xs))
+		rows := xs[lo:hi]
+		hasNaN := false
+		if cs != nil {
+			fl.encodeBlock(rows, cs)
+		} else {
+			hasNaN = rowsHaveNaN(rows)
+		}
+		for t := 0; t < nt; t++ {
+			fl.walkBlock(t, rows, idx[:len(rows)], cs, hasNaN)
+			for r := range rows {
+				out[(lo+r)*nt+t] = idx[r]
+			}
+		}
+	}
+}
+
+// RawPredictBatchInto writes the untransformed additive score of each
+// row of xs into out (len(out) == len(xs)), running serially — callers
+// parallelize over row ranges (Forest.RawPredictBatchCtx). Rows
+// accumulate BaseScore then tree values in tree order, the same
+// floating-point order as the single-row path, so results are bitwise
+// identical to Forest.RawPredict.
+func (fl *Flat) RawPredictBatchInto(xs [][]float64, out []float64) {
+	mKernelRaw.Add(int64(len(xs)))
+	fl.rawBlocks(xs, out, false)
+}
+
+// AddRawInto adds each row's additive tree score (without BaseScore) to
+// the corresponding out slot — the GBDT incremental raw-score update,
+// batched: out[r] += Σ_t t(xs[r]).
+func (fl *Flat) AddRawInto(xs [][]float64, out []float64) {
+	mKernelAddRaw.Add(int64(len(xs)))
+	fl.rawBlocks(xs, out, true)
+}
+
+// rawBlocks is the shared raw-score kernel: per block, per tree, walk
+// then gather leaf values. add preserves existing out contents (the
+// GBDT update); otherwise out is initialized to BaseScore.
+func (fl *Flat) rawBlocks(xs [][]float64, out []float64, add bool) {
+	var idx [rowBlock]int32
+	cs := fl.blockCodes()
+	value := fl.value
+	for lo := 0; lo < len(xs); lo += rowBlock {
+		hi := min(lo+rowBlock, len(xs))
+		rows := xs[lo:hi]
+		ob := out[lo:hi]
+		if !add {
+			for r := range ob {
+				ob[r] = fl.BaseScore
+			}
+		}
+		hasNaN := false
+		if cs != nil {
+			fl.encodeBlock(rows, cs)
+		} else {
+			hasNaN = rowsHaveNaN(rows)
+		}
+		for t := 0; t < fl.NumTrees; t++ {
+			fl.walkBlock(t, rows, idx[:len(rows)], cs, hasNaN)
+			for r := range ob {
+				ob[r] += value[idx[r]]
+			}
+		}
+	}
+}
+
+// PredictBatchInto is RawPredictBatchInto with the objective transform
+// hoisted out of the per-row accumulation: raw scores are computed for
+// the whole range first, then a single pass applies Sigmoid for
+// binary-logistic forests (identical per-row arithmetic to the
+// single-row Predict).
+func (fl *Flat) PredictBatchInto(xs [][]float64, out []float64) {
+	mKernelPredict.Add(int64(len(xs)))
+	fl.rawBlocks(xs, out, false)
+	if fl.Objective == BinaryLogistic {
+		for i, v := range out {
+			out[i] = Sigmoid(v)
+		}
+	}
+}
+
+// blockCodes returns the per-block quantized-code scratch, or nil on
+// the float path.
+func (fl *Flat) blockCodes() []uint16 {
+	if !fl.Quantized() {
+		return nil
+	}
+	return make([]uint16, rowBlock*fl.NumFeatures)
+}
+
+// flatCache memoizes compilations by forest fingerprint (plus the
+// compile mode), so every consumer of the same forest — the engine's
+// sample stage, SHAP, PDP, repeated batch predictions — shares one
+// Flat. Bounded FIFO eviction keeps a handful of forests resident
+// without letting long-lived processes accumulate retired models.
+var flatCache = struct {
+	sync.Mutex
+	entries map[string]*Flat
+	order   []string
+}{entries: make(map[string]*Flat)}
+
+// maxFlatCacheEntries bounds the compile cache; a Flat is ~40 bytes per
+// node, so even eight large (10⁶-node) forests stay under ~0.5 GiB.
+const maxFlatCacheEntries = 8
+
+// Compiled returns the cached Flat for f, compiling it on first use.
+// The cache key is forest.Fingerprint(), so any structural change to
+// the forest yields a fresh compilation and retired versions age out.
+func Compiled(f *Forest) *Flat {
+	return compiledMode(f.Fingerprint()+"|float", "float", func() *Flat { return Compile(f) })
+}
+
+// CompiledQuantized is Compiled for the quantized-threshold mode.
+func CompiledQuantized(f *Forest) (*Flat, error) {
+	var cerr error
+	fl := compiledMode(f.Fingerprint()+"|quant", "quantized", func() *Flat {
+		q, err := CompileQuantized(f)
+		if err != nil {
+			cerr = err
+			return nil
+		}
+		return q
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	return fl, nil
+}
+
+// compiledMode is the shared cache lookup. The lock covers compilation
+// so concurrent first uses of one forest compile once; compilation is
+// O(nodes) and allocation-bound, so the hold time is modest.
+func compiledMode(key, mode string, compile func() *Flat) *Flat {
+	flatCache.Lock()
+	defer flatCache.Unlock()
+	if fl, ok := flatCache.entries[key]; ok {
+		mFlatCacheHits.With(mode).Inc()
+		return fl
+	}
+	fl := compile()
+	if fl == nil {
+		return nil
+	}
+	if len(flatCache.order) >= maxFlatCacheEntries {
+		oldest := flatCache.order[0]
+		flatCache.order = flatCache.order[1:]
+		delete(flatCache.entries, oldest)
+	}
+	flatCache.entries[key] = fl
+	flatCache.order = append(flatCache.order, key)
+	return fl
+}

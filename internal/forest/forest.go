@@ -85,25 +85,43 @@ func (t *Tree) NumLeaves() int {
 	return c
 }
 
-// Depth returns the maximum root-to-leaf depth (a single leaf has depth 0).
+// Depth returns the maximum root-to-leaf depth (a single leaf has depth
+// 0). The walk uses an explicit stack, not recursion, so arbitrarily
+// deep deserialized trees (degenerate chains included) cannot overflow
+// the goroutine stack.
 func (t *Tree) Depth() int {
-	var rec func(i, d int) int
-	rec = func(i, d int) int {
-		n := &t.Nodes[i]
-		if n.IsLeaf() {
-			return d
-		}
-		l := rec(n.Left, d+1)
-		r := rec(n.Right, d+1)
-		if l > r {
-			return l
-		}
-		return r
-	}
-	if len(t.Nodes) == 0 {
+	return treeDepthIter(t.Nodes)
+}
+
+// depthFrame is one explicit-stack entry of the iterative tree walks.
+type depthFrame struct {
+	node  int32
+	depth int32
+}
+
+// treeDepthIter computes the max depth of a node slice iteratively.
+func treeDepthIter(nodes []Node) int {
+	if len(nodes) == 0 {
 		return 0
 	}
-	return rec(0, 0)
+	stack := make([]depthFrame, 1, 64)
+	stack[0] = depthFrame{0, 0}
+	maxDepth := int32(0)
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &nodes[fr.node]
+		if n.IsLeaf() {
+			if fr.depth > maxDepth {
+				maxDepth = fr.depth
+			}
+			continue
+		}
+		stack = append(stack,
+			depthFrame{int32(n.Right), fr.depth + 1},
+			depthFrame{int32(n.Left), fr.depth + 1})
+	}
+	return int(maxDepth)
 }
 
 // Forest is an additive ensemble of decision trees.
@@ -136,31 +154,53 @@ func (f *Forest) Predict(x []float64) float64 {
 	return raw
 }
 
-// PredictBatch evaluates Predict on every row of xs, in parallel over
-// fixed row chunks (each row writes its own output slot, so results are
-// identical at any worker count).
+// PredictBatch evaluates Predict on every row of xs through the flat
+// batched kernels (see PredictBatchCtx), under a background context.
 func (f *Forest) PredictBatch(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
 	//lint:ignore errdrop background context cannot be canceled
-	_ = par.For(context.Background(), len(xs), 0, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.Predict(xs[i])
-		}
-	})
+	out, _ := f.PredictBatchCtx(context.Background(), xs)
 	return out
 }
 
-// RawPredictBatch evaluates RawPredict on every row of xs, in parallel
-// like PredictBatch.
-func (f *Forest) RawPredictBatch(xs [][]float64) []float64 {
-	out := make([]float64, len(xs))
-	//lint:ignore errdrop background context cannot be canceled
-	_ = par.For(context.Background(), len(xs), 0, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = f.RawPredict(xs[i])
+// PredictBatchCtx evaluates Predict on every row of xs: raw scores run
+// through the compiled flat forest's batched traversal kernel, in
+// parallel over fixed row chunks (disjoint writes, so results are
+// bitwise identical at any worker count), then the objective transform
+// — hoisted out of the per-row loop — applies the same Sigmoid the
+// single-row path uses. Returns ctx.Err() if canceled.
+func (f *Forest) PredictBatchCtx(ctx context.Context, xs [][]float64) ([]float64, error) {
+	out, err := f.RawPredictBatchCtx(ctx, xs)
+	if err != nil {
+		return nil, err
+	}
+	if f.Objective == BinaryLogistic {
+		for i, v := range out {
+			out[i] = Sigmoid(v)
 		}
-	})
+	}
+	return out, nil
+}
+
+// RawPredictBatch evaluates RawPredict on every row of xs, like
+// PredictBatch.
+func (f *Forest) RawPredictBatch(xs [][]float64) []float64 {
+	//lint:ignore errdrop background context cannot be canceled
+	out, _ := f.RawPredictBatchCtx(context.Background(), xs)
 	return out
+}
+
+// RawPredictBatchCtx evaluates RawPredict on every row of xs through
+// the fingerprint-cached flat compilation, parallel over fixed row
+// chunks with disjoint writes. Returns ctx.Err() if canceled.
+func (f *Forest) RawPredictBatchCtx(ctx context.Context, xs [][]float64) ([]float64, error) {
+	fl := Compiled(f)
+	out := make([]float64, len(xs))
+	if err := par.For(ctx, len(xs), 0, func(_, lo, hi int) {
+		fl.RawPredictBatchInto(xs[lo:hi], out[lo:hi])
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Sigmoid is the logistic function 1/(1+e^(−z)).
@@ -284,9 +324,17 @@ func (f *Forest) Validate() error {
 		if len(t.Nodes) == 0 {
 			return fmt.Errorf("forest: tree %d is empty", ti)
 		}
+		// Explicit-stack pre-order walk (left pushed last, so popped
+		// first — the same visit order as the recursive formulation it
+		// replaces, preserving which violation is reported first).
+		// Iteration means a maliciously deep deserialized tree cannot
+		// overflow the goroutine stack during validation.
 		seen := make([]bool, len(t.Nodes))
-		var walk func(i int) error
-		walk = func(i int) error {
+		stack := make([]int, 1, 64)
+		stack[0] = 0
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			if i < 0 || i >= len(t.Nodes) {
 				return fmt.Errorf("forest: tree %d references node %d out of range [0,%d)", ti, i, len(t.Nodes))
 			}
@@ -302,7 +350,7 @@ func (f *Forest) Validate() error {
 				if math.IsNaN(n.Value) || math.IsInf(n.Value, 0) {
 					return fmt.Errorf("forest: tree %d node %d has non-finite leaf value %v: %w", ti, i, n.Value, robust.ErrDegenerate)
 				}
-				return nil
+				continue
 			}
 			if n.Right < 0 {
 				return fmt.Errorf("forest: tree %d node %d has Left=%d but Right=-1", ti, i, n.Left)
@@ -316,13 +364,7 @@ func (f *Forest) Validate() error {
 			if math.IsNaN(n.Gain) || math.IsInf(n.Gain, 0) {
 				return fmt.Errorf("forest: tree %d node %d has non-finite gain %v: %w", ti, i, n.Gain, robust.ErrDegenerate)
 			}
-			if err := walk(n.Left); err != nil {
-				return err
-			}
-			return walk(n.Right)
-		}
-		if err := walk(0); err != nil {
-			return err
+			stack = append(stack, n.Right, n.Left)
 		}
 		for i, s := range seen {
 			if !s {

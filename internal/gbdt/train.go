@@ -218,21 +218,25 @@ func TrainValidCtx(ctx context.Context, train, valid *dataset.Dataset, p Params)
 		mTreesGrown.Inc()
 		f.Trees = append(f.Trees, tree)
 
-		// Incremental raw-score update on train and valid: disjoint
-		// per-row writes, parallel over fixed row chunks.
+		// Incremental raw-score update on train and valid through the
+		// newly grown tree's flat compilation (O(nodes) to build, then a
+		// batched structure-of-arrays walk instead of a per-row pointer
+		// chase): disjoint per-row writes, parallel over fixed row
+		// chunks, raw[i] += t(x_i) bit-identical to the scalar update.
+		ft := forest.Compile(&forest.Forest{
+			Trees:       []forest.Tree{tree},
+			NumFeatures: numFeat,
+			Objective:   p.Objective,
+		})
 		if err := par.For(ctx, n, 0, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				raw[i] += tree.Predict(train.X[i])
-			}
+			ft.AddRawInto(train.X[lo:hi], raw[lo:hi])
 		}); err != nil {
 			return nil, nil, err
 		}
 		rep.TrainLoss = append(rep.TrainLoss, loss(p.Objective, raw, train.Y))
 		if valid != nil {
 			if err := par.For(ctx, len(rawValid), 0, func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					rawValid[i] += tree.Predict(valid.X[i])
-				}
+				ft.AddRawInto(valid.X[lo:hi], rawValid[lo:hi])
 			}); err != nil {
 				return nil, nil, err
 			}

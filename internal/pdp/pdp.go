@@ -2,6 +2,14 @@
 // functions of a forest over a background sample, and Friedman's
 // H-statistic built from them — the most expensive of the paper's four
 // interaction-detection strategies (§3.4).
+//
+// Every grid point costs |background| forest evaluations; all of them
+// run through the flat structure-of-arrays batch kernels
+// (forest.Compiled): the background is cloned once into a scratch
+// matrix, each grid point overwrites only the swept feature column(s),
+// and one batched traversal evaluates the whole background per point.
+// Per-point sums accumulate in background order, so results are bitwise
+// identical to the historical row-at-a-time walk.
 package pdp
 
 import (
@@ -20,6 +28,19 @@ var (
 	mHStatCalls  = obs.Metrics().Counter("pdp.hstat_calls")
 )
 
+// cloneRows deep-copies the background matrix into a scratch the sweep
+// can overwrite column-wise.
+func cloneRows(background [][]float64) [][]float64 {
+	rows := make([][]float64, len(background))
+	flat := make([]float64, len(background)*len(background[0]))
+	w := len(background[0])
+	for i, b := range background {
+		rows[i] = flat[i*w : (i+1)*w : (i+1)*w]
+		copy(rows[i], b)
+	}
+	return rows
+}
+
 // OneDimAt evaluates the one-dimensional partial-dependence function of
 // feature j at each of the given values:
 //
@@ -32,14 +53,18 @@ func OneDimAt(f *forest.Forest, background [][]float64, j int, values []float64)
 		panic("pdp: empty background sample")
 	}
 	mForestEvals.Add(int64(len(values)) * int64(len(background)))
+	fl := forest.Compiled(f)
+	rows := cloneRows(background)
+	preds := make([]float64, len(background))
 	out := make([]float64, len(values))
-	row := make([]float64, len(background[0]))
 	for vi, v := range values {
-		var s float64
-		for _, b := range background {
-			copy(row, b)
+		for _, row := range rows {
 			row[j] = v
-			s += f.Predict(row)
+		}
+		fl.PredictBatchInto(rows, preds)
+		var s float64
+		for _, p := range preds {
+			s += p
 		}
 		out[vi] = s / float64(len(background))
 	}
@@ -58,15 +83,19 @@ func TwoDimAt(f *forest.Forest, background [][]float64, i, j int, vi, vj []float
 		panic("pdp: empty background sample")
 	}
 	mForestEvals.Add(int64(len(vi)) * int64(len(background)))
+	fl := forest.Compiled(f)
+	rows := cloneRows(background)
+	preds := make([]float64, len(background))
 	out := make([]float64, len(vi))
-	row := make([]float64, len(background[0]))
 	for k := range vi {
-		var s float64
-		for _, b := range background {
-			copy(row, b)
+		for _, row := range rows {
 			row[i] = vi[k]
 			row[j] = vj[k]
-			s += f.Predict(row)
+		}
+		fl.PredictBatchInto(rows, preds)
+		var s float64
+		for _, p := range preds {
+			s += p
 		}
 		out[k] = s / float64(len(background))
 	}
@@ -81,14 +110,18 @@ func Grid1D(f *forest.Forest, background [][]float64, j int, grid []float64) []f
 		panic("pdp: empty background sample")
 	}
 	mForestEvals.Add(int64(len(grid)) * int64(len(background)))
+	fl := forest.Compiled(f)
+	rows := cloneRows(background)
+	preds := make([]float64, len(background))
 	out := make([]float64, len(grid))
-	row := make([]float64, len(background[0]))
 	for gi, v := range grid {
-		var s float64
-		for _, b := range background {
-			copy(row, b)
+		for _, row := range rows {
 			row[j] = v
-			s += f.Predict(row)
+		}
+		fl.PredictBatchInto(rows, preds)
+		var s float64
+		for _, p := range preds {
+			s += p
 		}
 		out[gi] = s / float64(len(background))
 	}
@@ -106,15 +139,23 @@ func ICE(f *forest.Forest, background [][]float64, j int, grid []float64) [][]fl
 		panic("pdp: empty background sample")
 	}
 	mForestEvals.Add(int64(len(grid)) * int64(len(background)))
+	fl := forest.Compiled(f)
+	// Scratch: len(grid) copies of the current background row, the swept
+	// column rewritten per row — one batched traversal per curve.
+	sweep := make([][]float64, len(grid))
+	flat := make([]float64, len(grid)*len(background[0]))
+	w := len(background[0])
+	for gi := range sweep {
+		sweep[gi] = flat[gi*w : (gi+1)*w : (gi+1)*w]
+	}
 	out := make([][]float64, len(background))
-	row := make([]float64, len(background[0]))
 	for bi, b := range background {
-		curve := make([]float64, len(grid))
-		copy(row, b)
 		for gi, v := range grid {
-			row[j] = v
-			curve[gi] = f.Predict(row)
+			copy(sweep[gi], b)
+			sweep[gi][j] = v
 		}
+		curve := make([]float64, len(grid))
+		fl.PredictBatchInto(sweep, curve)
 		out[bi] = curve
 	}
 	return out

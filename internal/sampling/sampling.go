@@ -357,9 +357,12 @@ func Generate(f *forest.Forest, d *Domains, n int, seed int64) *dataset.Dataset 
 // one forest evaluation, counted in sampling.forest_evals. Row sampling
 // draws from one sequential RNG stream (so D*'s inputs are identical
 // for a given seed regardless of parallelism); the forest labeling —
-// the expensive part, one full forest traversal per row — runs in
+// the expensive part, one full forest traversal per row — runs through
+// the flat structure-of-arrays batch kernels (forest.Compiled), in
 // parallel over fixed row chunks with disjoint writes, hence
-// bit-identical at any worker count. Returns ctx.Err() if canceled.
+// bit-identical at any worker count. The caller's ctx threads all the
+// way into the traversal, so deadlines cancel the labeling itself.
+// Returns ctx.Err() if canceled.
 func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed int64) (*dataset.Dataset, error) {
 	_, sp := obs.Start(ctx, "sampling.generate",
 		obs.Int("rows", n), obs.Str("strategy", string(d.Strategy)),
@@ -374,19 +377,16 @@ func GenerateCtx(ctx context.Context, f *forest.Forest, d *Domains, n int, seed 
 	}
 	ds := &dataset.Dataset{
 		X:            make([][]float64, n),
-		Y:            make([]float64, n),
 		FeatureNames: f.FeatureNames,
 		Task:         task,
 	}
 	for i := 0; i < n; i++ {
 		ds.X[i] = d.SampleRow(rng)
 	}
-	if err := par.For(ctx, n, 0, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ds.Y[i] = f.Predict(ds.X[i])
-		}
-	}); err != nil {
+	ys, err := f.PredictBatchCtx(ctx, ds.X)
+	if err != nil {
 		return nil, err
 	}
+	ds.Y = ys
 	return ds, nil
 }

@@ -35,59 +35,59 @@ type pathElem struct {
 // Values computes the SHAP attribution vector φ for instance x: one value
 // per input feature on the raw-score scale. The base value (expected raw
 // score) is returned alongside; f(x)_raw = base + Σ φ.
+//
+// The forest is compiled to its flat structure-of-arrays form first
+// (cached by fingerprint, see forest.Compiled); batch callers that
+// explain many instances should compile once and use ValuesFlat.
 func Values(f *forest.Forest, x []float64) (phi []float64, base float64) {
-	phi = make([]float64, f.NumFeatures)
-	base = f.BaseScore
+	return ValuesFlat(forest.Compiled(f), x)
+}
+
+// ValuesFlat is Values over an already-compiled flat forest: the
+// recursion reads child indices, thresholds and covers from the flat
+// parallel arrays, and each tree's path-dependent expectation E[t] is
+// the cover-weighted mean precomputed at compile time (bit-identical to
+// the recursive formulation). The arithmetic is unchanged from the
+// pointer walk, so attributions are bitwise identical to it.
+func ValuesFlat(fl *forest.Flat, x []float64) (phi []float64, base float64) {
+	phi = make([]float64, fl.NumFeatures)
+	base = fl.BaseScore
 	visits := 0
-	for ti := range f.Trees {
-		t := &f.Trees[ti]
-		base += expectedValue(t, 0)
-		treeShap(t, x, phi, &visits)
+	for t := 0; t < fl.NumTrees; t++ {
+		base += fl.TreeMean(t)
+		recurse(fl, x, phi, fl.TreeRoot(t), nil, 1, 1, -1, &visits)
 	}
 	mInstances.Inc()
 	mNodeVisits.Add(int64(visits))
 	return phi, base
 }
 
-// expectedValue returns the cover-weighted mean leaf value of the subtree
-// rooted at node i — the path-dependent E[f] for that tree.
-func expectedValue(t *forest.Tree, i int) float64 {
-	n := &t.Nodes[i]
-	if n.IsLeaf() {
-		return n.Value
-	}
-	l, r := &t.Nodes[n.Left], &t.Nodes[n.Right]
-	return (l.Cover*expectedValue(t, n.Left) + r.Cover*expectedValue(t, n.Right)) / n.Cover
-}
-
-func treeShap(t *forest.Tree, x []float64, phi []float64, visits *int) {
-	recurse(t, x, phi, 0, nil, 1, 1, -1, visits)
-}
-
-// recurse implements Algorithm 2 of Lundberg et al. (2018), 0-indexed.
-func recurse(t *forest.Tree, x []float64, phi []float64, j int, m []pathElem, pz, po float64, pi int, visits *int) {
+// recurse implements Algorithm 2 of Lundberg et al. (2018), 0-indexed,
+// over the flat arrays (j is an absolute flat node index).
+func recurse(fl *forest.Flat, x []float64, phi []float64, j int32, m []pathElem, pz, po float64, pi int, visits *int) {
 	*visits++
 	m = extend(m, pz, po, pi)
-	n := &t.Nodes[j]
-	if n.IsLeaf() {
+	if fl.IsLeaf(j) {
+		v := fl.Value(j)
 		for i := 1; i < len(m); i++ {
 			w := sumUnwoundWeights(m, i)
-			phi[m[i].d] += w * (m[i].o - m[i].z) * n.Value
+			phi[m[i].d] += w * (m[i].o - m[i].z) * v
 		}
 		return
 	}
-	hot, cold := n.Left, n.Right
-	if x[n.Feature] > n.Threshold {
-		hot, cold = n.Right, n.Left
+	feat := int(fl.Feature(j))
+	hot, cold := fl.Left(j), fl.Right(j)
+	if x[feat] > fl.Threshold(j) {
+		hot, cold = cold, hot
 	}
 	iz, io := 1.0, 1.0
-	if k := findFirst(m, n.Feature); k >= 0 {
+	if k := findFirst(m, feat); k >= 0 {
 		iz, io = m[k].z, m[k].o
 		m = unwind(m, k)
 	}
-	rj := t.Nodes[j].Cover
-	recurse(t, x, phi, hot, m, iz*t.Nodes[hot].Cover/rj, io, n.Feature, visits)
-	recurse(t, x, phi, cold, m, iz*t.Nodes[cold].Cover/rj, 0, n.Feature, visits)
+	rj := fl.Cover(j)
+	recurse(fl, x, phi, hot, m, iz*fl.Cover(hot)/rj, io, feat, visits)
+	recurse(fl, x, phi, cold, m, iz*fl.Cover(cold)/rj, 0, feat, visits)
 }
 
 // extend grows the path with a new (pz, po, pi) fraction pair, updating
@@ -193,6 +193,8 @@ func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
 	if len(sample) == 0 {
 		return make([]float64, f.NumFeatures)
 	}
+	// One flat compilation serves every instance in the batch.
+	fl := forest.Compiled(f)
 	// Per-instance TreeSHAP runs are independent: each chunk folds its
 	// rows into a partial |φ| sum, and the partials are combined in
 	// chunk order (bitwise-stable at any worker count).
@@ -201,7 +203,7 @@ func GlobalImportance(f *forest.Forest, sample [][]float64) []float64 {
 		func(_, lo, hi int) []float64 {
 			chunkImp := make([]float64, f.NumFeatures)
 			for r := lo; r < hi; r++ {
-				phi, _ := Values(f, sample[r])
+				phi, _ := ValuesFlat(fl, sample[r])
 				for i, v := range phi {
 					chunkImp[i] += math.Abs(v)
 				}
@@ -230,12 +232,13 @@ func DependenceSeries(f *forest.Forest, sample [][]float64, j int) (xs, phis []f
 	defer sp.End()
 	xs = make([]float64, len(sample))
 	phis = make([]float64, len(sample))
+	fl := forest.Compiled(f)
 	// Each row writes only its own output slots — parallel with no
 	// reduction needed.
 	//lint:ignore errdrop background context cannot be canceled
 	_ = par.For(context.Background(), len(sample), 0, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			phi, _ := Values(f, sample[i])
+			phi, _ := ValuesFlat(fl, sample[i])
 			xs[i] = sample[i][j]
 			phis[i] = phi[j]
 		}

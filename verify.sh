@@ -26,6 +26,14 @@ go test ./...
 # can never silently drop the suite.
 go test -count=1 -run TestFaultInjection ./...
 
+# Flat-forest traversal benchmark: regenerates BENCH_forest.json (flat
+# SoA vs pointer walk ns/row at batch 1/64/4096 plus the D*-labeling and
+# batch-SHAP stages). On multi-core hosts the harness fails if the flat
+# D* labeling path is below 2x the pointer walk at workers=1; 1-core
+# containers record the numbers but skip the ratio gate (BENCH_par
+# policy).
+BENCH_FOREST_OUT=BENCH_forest.json go test -count=1 -run TestWriteForestBench .
+
 # Race gate: every package whose sources (tests included) start
 # goroutines, touch sync/atomic primitives, or import the internal/par
 # worker-pool runtime is re-run under the race detector. The set is
