@@ -25,18 +25,38 @@ import (
 	"gef/internal/shap"
 )
 
-// TestMain adds the BENCH_obs.json hook: with BENCH_OBS_OUT=<path>, the
+// TestMain hosts the BENCH_*.json hooks. With BENCH_OBS_OUT=<path>, the
 // pipeline metrics accumulated over the run (GCV evaluations, P-IRLS
 // iterations, SHAP node visits, per-iteration boosting timings, ...) are
 // dumped in the repo's BENCH_*.json shape, so benchmark runs emit
 // comparable per-stage numbers:
 //
 //	BENCH_OBS_OUT=BENCH_obs.json go test -run '^$' -bench BenchmarkFullGEFPipeline -benchtime 1x .
+//
+// The other BENCH_* reports are env-gated tests in this package:
+//
+//	BENCH_PAR_OUT=BENCH_par.json       go test -count=1 -run TestWriteParBench .
+//	BENCH_ENGINE_OUT=BENCH_engine.json go test -count=1 -run TestWriteEngineBench .
+//	BENCH_FOREST_OUT=BENCH_forest.json go test -count=1 -run TestWriteForestBench .
+//	BENCH_SERVE_OUT=BENCH_serve.json   go test -count=1 -run TestWriteServeBench .
+//
+// TestMain enforces the serve contract: asking for BENCH_SERVE_OUT and
+// not producing a non-empty report (e.g. the generating test was
+// filtered out) fails the run instead of silently skipping the serving
+// numbers from the perf trajectory.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if path := os.Getenv("BENCH_OBS_OUT"); path != "" {
 		if err := obs.WriteBenchReport(path, "gef-bench"); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	if path := os.Getenv("BENCH_SERVE_OUT"); path != "" {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			fmt.Fprintf(os.Stderr, "bench: BENCH_SERVE_OUT=%s requested but no report was written (run TestWriteServeBench)\n", path)
 			if code == 0 {
 				code = 1
 			}

@@ -1,0 +1,166 @@
+// Command gefd is the gef explanation server: a long-running HTTP/JSON
+// daemon serving Explain/AutoExplain/SHAP for registered forests to
+// concurrent multi-tenant clients, with admission control, single-
+// flight request coalescing, one shared byte-budgeted engine cache,
+// typed failure statuses and graceful drain on SIGTERM.
+//
+//	gefd -listen 127.0.0.1:8080 -load model.json
+//
+// See the README "Serving" section for the endpoint and status-code
+// contract, and cmd/gefd/loadgen for driving it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gef/internal/forest"
+	"gef/internal/obs"
+	"gef/internal/par"
+	"gef/internal/robust"
+	"gef/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		budget    = flag.Duration("budget", 30*time.Second, "per-request compute budget (requests may lower it via budget_ms)")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM drain waits for in-flight requests before 504ing them")
+		inflight  = flag.Int("inflight", 0, "concurrent computations (0 = par worker count)")
+		queue     = flag.Int("queue", 256, "admitted requests allowed to wait beyond the in-flight workers; more are shed with 429")
+		cacheMB   = flag.Int64("cache-mb", 0, "shared engine artifact-cache budget in MiB (0 = 256, negative disables)")
+		workers   = flag.Int("workers", 0, "worker goroutines for parallel stages (0 = GOMAXPROCS)")
+		flightDir = flag.String("flight-dir", "", "directory for panic flight-recorder dumps (default: OS temp dir)")
+		load      = flag.String("load", "", "comma-separated forest JSON files to register at startup")
+		inject    = flag.String("inject", "", "fault plan: comma-separated site[:prob] entries (e.g. serve.admit:0.05,serve.coalesce); see robust.Sites")
+		injSeed   = flag.Int64("inject-seed", 1, "seed for probabilistic -inject entries")
+	)
+	var ocli obs.CLI
+	ocli.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	par.SetWorkers(*workers)
+
+	stop, err := ocli.Start("gefd")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gefd: %v\n", err)
+		return 2
+	}
+	defer stop()
+
+	if *inject != "" {
+		in, err := parseInject(*inject, *injSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gefd: %v\n", err)
+			return 2
+		}
+		robust.SetInjector(in)
+		fmt.Fprintf(os.Stderr, "gefd: fault injection active: %s\n", *inject)
+	}
+
+	var cacheBudget int64
+	switch {
+	case *cacheMB > 0:
+		cacheBudget = *cacheMB << 20
+	case *cacheMB < 0:
+		cacheBudget = -1
+	}
+	srv := serve.New(serve.Options{
+		Budget:       *budget,
+		DrainTimeout: *drainTO,
+		MaxInFlight:  *inflight,
+		MaxQueue:     *queue,
+		CacheBudget:  cacheBudget,
+		FlightDir:    *flightDir,
+	})
+
+	for _, path := range strings.Split(*load, ",") {
+		if path == "" {
+			continue
+		}
+		f, err := forest.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gefd: loading %s: %v\n", path, err)
+			return 1
+		}
+		fp, err := srv.RegisterForest(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gefd: registering %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "gefd: registered %s as %s\n", path, fp)
+	}
+
+	// SIGTERM/SIGINT trigger the graceful-drain protocol: stop
+	// accepting, finish in-flight work under -drain-timeout, 504 the
+	// stragglers, then Serve below returns.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore rawgo signal watcher must run beside the blocking Serve loop; exits with the process
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "gefd: signal received, draining")
+		if err := srv.Drain(); err != nil {
+			fmt.Fprintf(os.Stderr, "gefd: drain: %v\n", err)
+		}
+	}()
+
+	err = srv.Listen(*listen, func(bound string) {
+		fmt.Printf("gefd: serving on http://%s\n", bound)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gefd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "gefd: drained, bye")
+	return 0
+}
+
+// parseInject turns "site[:prob],site[:prob],…" into an Injector plan:
+// no prob (or prob ≥ 1) fails every matching call, otherwise a
+// deterministic prob-fraction of keys fails.
+func parseInject(spec string, seed int64) (*robust.Injector, error) {
+	var faults []robust.Fault
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, probStr, hasProb := strings.Cut(entry, ":")
+		site := robust.Site(name)
+		known := false
+		for _, s := range robust.Sites {
+			if s == site {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("-inject: unknown site %q (known: %v)", name, robust.Sites)
+		}
+		if !hasProb {
+			faults = append(faults, robust.FailAlways(site, -1))
+			continue
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 {
+			return nil, fmt.Errorf("-inject: bad probability %q in %q", probStr, entry)
+		}
+		if prob >= 1 {
+			faults = append(faults, robust.FailAlways(site, -1))
+		} else {
+			faults = append(faults, robust.FailProb(site, -1, prob))
+		}
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("-inject: empty plan %q", spec)
+	}
+	return robust.NewInjector(seed, faults...), nil
+}

@@ -1,0 +1,229 @@
+package gef
+
+// Serve-path fault-injection gate (ISSUE 9): every fault injected at
+// serve.admit, serve.coalesce or serve.drain must end in a typed HTTP
+// status, a recorded degradation, or a clean shed — never a hung
+// connection. Tests stay under the TestFaultInjection prefix so the
+// verify.sh fault gate (`go test -run TestFaultInjection ./...`) picks
+// them up.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gef/internal/robust"
+	"gef/internal/serve"
+)
+
+// serveFixture stands up a Server with the shared fault fixture forest
+// behind an httptest listener.
+func serveFixture(t *testing.T, opt serve.Options) (*serve.Server, *httptest.Server, string) {
+	t.Helper()
+	s := serve.New(opt)
+	fp, err := s.RegisterForest(faultForest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, fp
+}
+
+// postExplain posts one explain request with a hard client-side timeout
+// so a hang fails the test instead of wedging it.
+func postExplain(t *testing.T, baseURL, fp string, cfg Config, budgetMS int) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{
+		"fingerprint": fp,
+		"config":      cfg,
+		"budget_ms":   budgetMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := hc.Post(baseURL+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request did not terminate: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// serveCfg is a quick explain config for the serve fault gate.
+func serveCfg() Config {
+	c := faultCfg()
+	c.NumSamples = 600
+	return c
+}
+
+// TestFaultInjectionServeAdmit: an admission fault must shed with 429 +
+// Retry-After and a typed JSON body — the clean-shed contract — and
+// recovery is immediate once the plan is gone.
+func TestFaultInjectionServeAdmit(t *testing.T) {
+	_, ts, fp := serveFixture(t, serve.Options{})
+	withInjector(t, robust.NewInjector(1, robust.FailAlways(robust.SiteAdmit, -1)), func() {
+		resp, payload := postExplain(t, ts.URL, fp, serveCfg(), 0)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d (body %s), want 429", resp.StatusCode, payload)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("shed response missing Retry-After")
+		}
+		var eb struct {
+			Error string `json:"error"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal(payload, &eb); err != nil || eb.Kind != "shed" {
+			t.Fatalf("body %s, want kind shed", payload)
+		}
+	})
+	// Plan removed → the same request succeeds.
+	resp, payload := postExplain(t, ts.URL, fp, serveCfg(), 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status = %d (body %s), want 200", resp.StatusCode, payload)
+	}
+}
+
+// TestFaultInjectionServeCoalesce: a poisoned coalesced computation
+// surfaces one typed 500 per caller — concurrent callers sharing the
+// key included — and never a hang.
+func TestFaultInjectionServeCoalesce(t *testing.T) {
+	_, ts, fp := serveFixture(t, serve.Options{})
+	withInjector(t, robust.NewInjector(1, robust.FailAlways(robust.SiteCoalesce, -1)), func() {
+		const n = 3
+		codes := make([]int, n)
+		bodies := make([][]byte, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, payload := postExplain(t, ts.URL, fp, serveCfg(), 0)
+				codes[i], bodies[i] = resp.StatusCode, payload
+			}(i)
+		}
+		wg.Wait()
+		for i, code := range codes {
+			if code != http.StatusInternalServerError {
+				t.Fatalf("caller %d: status %d (body %s), want 500", i, code, bodies[i])
+			}
+			var eb struct {
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal(bodies[i], &eb); err != nil || eb.Kind != "numerical" {
+				t.Fatalf("caller %d: body %s, want kind numerical", i, bodies[i])
+			}
+		}
+	})
+}
+
+// TestFaultInjectionServeDrain: with serve.drain injected, a drain's
+// deadline collapses to "now" — the in-flight request is timed out with
+// a typed 504 instead of finishing, and nothing hangs.
+func TestFaultInjectionServeDrain(t *testing.T) {
+	withInjector(t, robust.NewInjector(1, robust.FailAlways(robust.SiteDrain, -1)), func() {
+		s, ts, fp := serveFixture(t, serve.Options{Budget: time.Minute, DrainTimeout: time.Minute})
+		slow := serveCfg()
+		slow.NumSamples = 300000 // keep the request in flight while we drain
+
+		type outcome struct {
+			code int
+			body []byte
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			resp, payload := postExplain(t, ts.URL, fp, slow, 0)
+			done <- outcome{resp.StatusCode, payload}
+		}()
+
+		// Wait until the request is admitted and computing.
+		waitUntil := time.Now().Add(10 * time.Second)
+		for time.Now().Before(waitUntil) && s.Stats().Admitted == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if s.Stats().Admitted == 0 {
+			t.Fatal("request never admitted")
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		select {
+		case o := <-done:
+			if o.code != http.StatusGatewayTimeout {
+				t.Fatalf("in-flight request got %d (body %s), want 504", o.code, o.body)
+			}
+			var eb struct {
+				Kind string `json:"kind"`
+			}
+			if err := json.Unmarshal(o.body, &eb); err != nil || eb.Kind != "deadline" {
+				t.Fatalf("body %s, want kind deadline", o.body)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("in-flight request hung across an immediate drain deadline")
+		}
+		// And post-drain arrivals shed cleanly.
+		resp, _ := postExplain(t, ts.URL, fp, serveCfg(), 0)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("post-drain status = %d, want 429", resp.StatusCode)
+		}
+	})
+}
+
+// TestFaultInjectionServeAdmitDepthLevel pins the documented (key,
+// level) semantics of serve.admit: level is the admitted depth at
+// arrival, so FailBelow(…, 1) sheds only requests that find the server
+// empty — an arrival while another request is admitted passes.
+func TestFaultInjectionServeAdmitDepthLevel(t *testing.T) {
+	s, ts, fp := serveFixture(t, serve.Options{Budget: time.Minute})
+
+	// Admit a slow request with no plan installed, so something is in
+	// flight when the plan arrives.
+	slow := serveCfg()
+	slow.NumSamples = 300000 // ~300ms of work: a wide window for the depth-1 probe
+	done := make(chan int, 1)
+	go func() {
+		r, _ := postExplain(t, ts.URL, fp, slow, 0)
+		done <- r.StatusCode
+	}()
+	waitUntil := time.Now().Add(10 * time.Second)
+	for time.Now().Before(waitUntil) && s.Stats().Admitted == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.Stats().Admitted == 0 {
+		t.Fatal("slow request never admitted")
+	}
+
+	withInjector(t, robust.NewInjector(1, robust.FailBelow(robust.SiteAdmit, -1, 1)), func() {
+		// Depth 1 (slow request admitted) → 1 < 1 is false → passes.
+		resp, payload := postExplain(t, ts.URL, fp, serveCfg(), 0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("depth-1 request got %d (body %s), want 200", resp.StatusCode, payload)
+		}
+		select {
+		case code := <-done:
+			if code != http.StatusOK {
+				t.Fatalf("slow request finished %d, want 200", code)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("slow request hung")
+		}
+		// Server empty again → depth 0 → fires → clean shed.
+		resp2, _ := postExplain(t, ts.URL, fp, serveCfg(), 0)
+		if resp2.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("empty-server request got %d, want 429 (level 0 < 1)", resp2.StatusCode)
+		}
+	})
+}

@@ -17,39 +17,75 @@ import (
 // subtree keeps running.
 //
 // The check: inside any function whose signature carries a
-// context.Context parameter, a call whose callee accepts a
+// context.Context parameter — or an *http.Request, whose Context() is
+// the serving layer's deadline carrier — a call whose callee accepts a
 // context.Context in its first parameter must not be passed a fresh
-// context.Background()/context.TODO(). Detached work is sometimes
-// intended (background flushes); those sites carry a //lint:ignore with
-// the reason.
+// context.Background()/context.TODO(). Function literals are checked
+// too: a literal with its own ctx/request parameter re-scopes the rule
+// to that parameter (HTTP handlers are typically literals or methods
+// that only receive the ctx via the request), while a literal without
+// one still sees the enclosing function's context. Detached work is
+// sometimes intended (background flushes); those sites carry a
+// //lint:ignore with the reason.
 var Ctxdrop = &analysis.Analyzer{
 	Name: "ctxdrop",
-	Doc:  "flags context.Background()/TODO() passed onward when the caller already has a ctx",
+	Doc:  "flags context.Background()/TODO() passed onward when the caller already has a ctx (or an *http.Request carrying one)",
 	Run:  runCtxdrop,
 }
+
+// ctxSource classifies where the enclosing function's context comes
+// from: a context.Context parameter, an *http.Request parameter, or
+// nowhere.
+type ctxSource int
+
+const (
+	srcNone ctxSource = iota
+	srcParam
+	srcRequest
+)
 
 func runCtxdrop(pass *analysis.Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			fd, ok := n.(*ast.FuncDecl)
-			if !ok {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil || isTestFile(pass, fn) {
+					return false
+				}
+				if src := ctxSourceOf(pass, fn.Type); src != srcNone {
+					checkCtxDrop(pass, fn.Body, src)
+					return false // nested literals handled inside
+				}
+				return true // a literal inside may carry its own ctx/request
+			case *ast.FuncLit:
+				// Reached only under declarations without a context of
+				// their own (e.g. handler literals built in main or in
+				// a mux-wiring helper).
+				if isTestFile(pass, fn) {
+					return false
+				}
+				if src := ctxSourceOf(pass, fn.Type); src != srcNone {
+					checkCtxDrop(pass, fn.Body, src)
+					return false
+				}
 				return true
 			}
-			if fd.Body == nil || isTestFile(pass, fd) || !hasCtxParam(pass, fd.Type) {
-				return false
-			}
-			checkCtxDrop(pass, fd.Body)
-			return false
+			return true
 		})
 	}
 }
 
-func checkCtxDrop(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkCtxDrop(pass *analysis.Pass, body *ast.BlockStmt, src ctxSource) {
 	ast.Inspect(body, func(n ast.Node) bool {
-		// A nested closure with its own ctx parameter re-scopes the
-		// rule; one without still sees the outer ctx, so keep walking.
-		if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
-			return false
+		// A nested closure with its own ctx (or request) re-scopes the
+		// rule; one without still sees the outer context, so keep
+		// walking under the outer classification.
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if inner := ctxSourceOf(pass, lit.Type); inner != srcNone {
+				checkCtxDrop(pass, lit.Body, inner)
+				return false
+			}
+			return true
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -70,25 +106,39 @@ func checkCtxDrop(pass *analysis.Pass, body *ast.BlockStmt) {
 		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
 			return true
 		}
-		if fn.Name() == "Background" || fn.Name() == "TODO" {
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		switch src {
+		case srcParam:
 			pass.Reportf(arg.Pos(), "context.%s() passed to %s while the enclosing function has a ctx; this drops deadlines, cancellation and span parentage — pass the caller's ctx",
+				fn.Name(), calleeName(pass, call))
+		case srcRequest:
+			pass.Reportf(arg.Pos(), "context.%s() passed to %s while the enclosing function receives an *http.Request; this detaches the work from client disconnects and server deadlines — pass the request's Context()",
 				fn.Name(), calleeName(pass, call))
 		}
 		return true
 	})
 }
 
-// hasCtxParam reports whether ft's parameters include a context.Context.
-func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+// ctxSourceOf classifies ft's parameters: a context.Context parameter
+// wins over an *http.Request one (a handler that already receives a
+// derived ctx should thread that, not re-derive from the request).
+func ctxSourceOf(pass *analysis.Pass, ft *ast.FuncType) ctxSource {
 	if ft.Params == nil {
-		return false
+		return srcNone
 	}
+	src := srcNone
 	for _, field := range ft.Params.List {
-		if isContextType(pass.TypeOf(field.Type)) {
-			return true
+		t := pass.TypeOf(field.Type)
+		if isContextType(t) {
+			return srcParam
+		}
+		if isHTTPRequestPtr(t) {
+			src = srcRequest
 		}
 	}
-	return false
+	return src
 }
 
 // isContextType reports whether t is context.Context.
@@ -101,6 +151,19 @@ func isContextType(t types.Type) bool {
 		return false
 	}
 	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == "Request"
 }
 
 // calleeName renders the called expression for the diagnostic.

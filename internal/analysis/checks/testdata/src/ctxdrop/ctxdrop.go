@@ -2,7 +2,10 @@
 // analyzer.
 package ctxdrop
 
-import "context"
+import (
+	"context"
+	"net/http"
+)
 
 func leaf(ctx context.Context, n int) int {
 	_ = ctx
@@ -68,4 +71,68 @@ func detached(ctx context.Context, n int) int {
 	_ = ctx
 	//lint:ignore ctxdrop flush must outlive the request on purpose
 	return leaf(context.Background(), n)
+}
+
+// --- Handler idioms (ISSUE 9): an *http.Request carries the request
+// context, so handlers must thread r.Context(), not re-derive from
+// Background.
+
+func ctxLeaf(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// A handler threading the request context: the serving-layer norm.
+// Clean.
+func handlerPlumbed(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = ctxLeaf(r.Context())
+}
+
+// A handler minting a fresh Background detaches the work from client
+// disconnects and the server budget.
+func handlerDropped(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = r
+	_ = ctxLeaf(context.Background()) // want "context.Background\(\) passed to ctxLeaf"
+}
+
+// Handler literals are how mux wiring builds endpoints; the rule must
+// see inside them even though the enclosing function has no context.
+func wireMux(mux *http.ServeMux) {
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		_ = ctxLeaf(r.Context())
+	})
+	mux.HandleFunc("/dropped", func(w http.ResponseWriter, r *http.Request) {
+		_ = w
+		_ = r
+		_ = ctxLeaf(context.TODO()) // want "context.TODO\(\) passed to ctxLeaf"
+	})
+}
+
+// A closure without parameters inside a handler still sees the request
+// context.
+func handlerClosure(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = r
+	f := func() error {
+		return ctxLeaf(context.Background()) // want "context.Background\(\) passed to ctxLeaf"
+	}
+	_ = f()
+}
+
+// A ctx parameter outranks the request: the caller already derived the
+// right context, and threading it is clean.
+func handlerHelper(ctx context.Context, r *http.Request) error {
+	_ = r
+	return ctxLeaf(ctx)
+}
+
+// Detaching from the request lifecycle on purpose (audit log must
+// survive the client hanging up) is fine when the reason is stated.
+func handlerDetached(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = r
+	//lint:ignore ctxdrop audit write must outlive the request on purpose
+	_ = ctxLeaf(context.Background())
 }

@@ -3,7 +3,10 @@
 // go statement here must be flagged unless suppressed.
 package rawgo
 
-import "sync"
+import (
+	"net/http"
+	"sync"
+)
 
 // fanOut spawns raw goroutines instead of going through par — flagged.
 func fanOut(xs []float64) float64 {
@@ -43,4 +46,23 @@ func serial(xs []float64) float64 {
 		s += x
 	}
 	return s
+}
+
+// handlerSpawn is the serving-layer shape (ISSUE 9): an HTTP handler
+// forking work off the request goroutine. Concurrency in handlers must
+// go through par or the serve coalescer, so a raw spawn is flagged even
+// here.
+func handlerSpawn(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	go func() { // want "raw goroutine spawn outside internal/par"
+		_ = r.Context()
+	}()
+}
+
+// coalescedHandler documents the sanctioned exception: the single-flight
+// leader must be detached from every waiter's goroutine.
+func coalescedHandler(w http.ResponseWriter, r *http.Request) {
+	_, _ = w, r
+	//lint:ignore rawgo single-flight leader detached from waiters by design
+	go background()
 }

@@ -34,10 +34,25 @@ const (
 	// stage index (0 = feature selection, 1 = domains, 2 = D*
 	// generation, 3 = interaction ranking, 4 = GAM fit); level = 0.
 	SiteCancel Site = "core.cancel"
+	// SiteAdmit forces the explanation server's admission controller to
+	// treat the queue as full, shedding the request with 429. key = −1
+	// (any request); level = the queue depth observed at admission, so
+	// FailBelow(…, d) sheds only while fewer than d requests wait.
+	SiteAdmit Site = "serve.admit"
+	// SiteCoalesce poisons a coalesced computation: the single-flight
+	// leader's work fails with ErrNumerical, and every waiter sharing
+	// the key must surface the same typed failure (one 500 per waiter,
+	// never a hang). key = −1; level = the number of waiters already
+	// joined when the leader started.
+	SiteCoalesce Site = "serve.coalesce"
+	// SiteDrain collapses the server's drain deadline to "now": a drain
+	// triggered while requests are in flight times them out immediately
+	// with 504 instead of letting them finish. key = −1; level = 0.
+	SiteDrain Site = "serve.drain"
 )
 
 // Sites lists every registered injection site.
-var Sites = []Site{SiteCholesky, SiteIRLS, SiteDomains, SiteCancel}
+var Sites = []Site{SiteCholesky, SiteIRLS, SiteDomains, SiteCancel, SiteAdmit, SiteCoalesce, SiteDrain}
 
 // ScopeFit is the ordinal scope counting gam fit invocations; it keys
 // SiteCholesky and SiteIRLS plans (fit 0 is the full spec, later

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"gef/internal/robust"
+)
+
+// admission is the server's load-shedding front door. It bounds two
+// things independently:
+//
+//   - the admitted set — every request currently inside the server,
+//     whether waiting for a worker token, waiting on a coalesced
+//     computation, or computing. Arrivals beyond max are shed
+//     immediately with 429: a full admitted set means the server is
+//     already holding as much deferred work as it is willing to owe.
+//
+//   - worker tokens — how many computations may run at once (sized
+//     from par.Workers() by default, so the compute pool and the HTTP
+//     layer agree on the machine's parallelism). Admitted leaders
+//     queue for a token only as long as their deadline allows; an
+//     exhausted budget while queued is a 504, not a hang.
+//
+// Shedding is deliberately cheap — one atomic add and compare — so the
+// overloaded path costs near nothing, which is the point of admission
+// control: the server stays responsive precisely when it is busiest.
+type admission struct {
+	max      int64 // admitted-set bound: MaxInFlight + MaxQueue
+	inflight int64 // worker-token count, for the shed message
+	admitted atomic.Int64
+	tokens   chan struct{}
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		max:      int64(maxInFlight + maxQueue),
+		inflight: int64(maxInFlight),
+		tokens:   make(chan struct{}, maxInFlight),
+	}
+}
+
+// enter admits a request into the bounded admitted set or sheds it.
+// The serve.admit fault site sees the pre-admission depth, so a
+// FailBelow plan sheds only while the set is shallower than its
+// threshold. Draining servers shed every new arrival: drain means
+// finish what you have, not take on more.
+func (a *admission) enter(draining bool) (func(), error) {
+	n := a.admitted.Add(1)
+	depth := float64(n - 1)
+	switch {
+	case draining:
+		a.admitted.Add(-1)
+		return nil, fmt.Errorf("%w: server draining", errShed)
+	case n > a.max:
+		a.admitted.Add(-1)
+		return nil, fmt.Errorf("%w: %d requests admitted (max %d = %d workers + queue)",
+			errShed, n-1, a.max, a.inflight)
+	case robust.Fire(robust.SiteAdmit, -1, depth):
+		a.admitted.Add(-1)
+		return nil, fmt.Errorf("%w: injected admission fault at depth %d", errShed, n-1)
+	}
+	gAdmitted.Set(float64(n))
+	return func() {
+		gAdmitted.Set(float64(a.admitted.Add(-1)))
+	}, nil
+}
+
+// token blocks until a worker token frees up or ctx ends. The returned
+// release must be called exactly once. A deadline expiry while queued
+// surfaces as ErrDeadline (→ 504) via CtxErr.
+func (a *admission) token(ctx context.Context) (func(), error) {
+	select {
+	case a.tokens <- struct{}{}:
+		gInFlight.Set(float64(len(a.tokens)))
+		return func() {
+			<-a.tokens
+			gInFlight.Set(float64(len(a.tokens)))
+		}, nil
+	case <-ctx.Done():
+		return nil, robust.CtxErr(ctx.Err())
+	}
+}

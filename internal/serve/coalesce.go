@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gef/internal/obs"
+	"gef/internal/robust"
+)
+
+// group is a single-flight coalescer: concurrent do calls with the same
+// key share one computation. Unlike the classic singleflight shape, the
+// computation's lifetime is decoupled from every caller — the leader's
+// work runs in its own goroutine under a context built by leadCtx (the
+// server's compute base capped by budget and drain deadlines), so a
+// waiter cancelling its request never cancels, and can never poison,
+// the shared result the remaining waiters are owed.
+type group struct {
+	// onPanic receives the recovered-panic error from a leader
+	// goroutine (the server dumps the flight recorder there).
+	onPanic func(error)
+
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one in-flight shared computation. val and err are written
+// exactly once, before done is closed; the channel close publishes them
+// to every waiter (happens-before via the close).
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters atomic.Int64
+}
+
+func newGroup(onPanic func(error)) *group {
+	return &group{onPanic: onPanic, calls: make(map[string]*call)}
+}
+
+// do runs lead under key, coalescing with any in-flight computation for
+// the same key. It returns (value, joined, error) where joined reports
+// that this caller shared a computation started by an earlier request.
+//
+// The first caller for a key becomes the leader: lead runs in a
+// detached goroutine under a context from leadCtx, and the leader's own
+// wait — like every waiter's — is bounded by its request ctx. A caller
+// whose ctx ends while waiting gets CtxErr(ctx.Err()) immediately; the
+// computation keeps running for whoever remains (and, on success, its
+// artifacts land in the shared engine cache either way).
+//
+// The map entry is removed before done is closed, so a request arriving
+// after completion starts fresh — coalescing dedupes concurrent work,
+// not history; cross-request reuse is the engine cache's job.
+func (g *group) do(
+	ctx context.Context,
+	key string,
+	leadCtx func() (context.Context, context.CancelFunc),
+	lead func(context.Context) (any, error),
+) (any, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, robust.CtxErr(ctx.Err())
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The shared computation must outlive any individual waiter —
+	// including the leader request itself — so it cannot run on the
+	// handler goroutine. Concurrency stays bounded: the closure queues
+	// for an admission worker token before computing.
+	//lint:ignore rawgo single-flight leader must be detached from every waiter; bounded by admission worker tokens
+	go func() {
+		cctx, cancel := leadCtx()
+		defer func() {
+			if rec := recover(); rec != nil {
+				c.err = fmt.Errorf("panic in coalesced computation: %v", rec)
+				obs.RecordError("serve.coalesce", c.err)
+				if g.onPanic != nil {
+					g.onPanic(c.err)
+				}
+			}
+			cancel()
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		if robust.Fire(robust.SiteCoalesce, -1, float64(c.waiters.Load())) {
+			c.err = fmt.Errorf("%w: injected coalesce fault", robust.ErrNumerical)
+			return
+		}
+		v, err := lead(cctx)
+		c.val, c.err = v, typedCause(cctx, err)
+	}()
+
+	select {
+	case <-c.done:
+		return c.val, false, c.err
+	case <-ctx.Done():
+		return nil, false, robust.CtxErr(ctx.Err())
+	}
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gef/internal/robust"
+)
+
+// bgLeadCtx is the trivial leadCtx for coalescer unit tests: a plain
+// cancellable context not tied to any waiter.
+func bgLeadCtx() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// TestCoalesceSharesOneComputation: N concurrent do calls, one key,
+// one execution, identical results, N−1 joiners.
+func TestCoalesceSharesOneComputation(t *testing.T) {
+	g := newGroup(nil)
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	const n = 8
+
+	type result struct {
+		val    any
+		joined bool
+		err    error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lead := func(context.Context) (any, error) {
+				executions.Add(1)
+				close(started)
+				<-release
+				return "shared-value", nil
+			}
+			v, joined, err := g.do(context.Background(), "k", bgLeadCtx, lead)
+			results[i] = result{v, joined, err}
+		}(i)
+		if i == 0 {
+			// Make goroutine 0 the leader deterministically.
+			<-started
+		}
+	}
+	// Give the waiters a moment to join, then release the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("lead executed %d times, want 1", got)
+	}
+	joins := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+		if r.val != "shared-value" {
+			t.Fatalf("caller %d got %v", i, r.val)
+		}
+		if r.joined {
+			joins++
+		}
+	}
+	if joins != n-1 {
+		t.Fatalf("joined = %d, want %d", joins, n-1)
+	}
+}
+
+// TestCoalesceWaiterCancelDoesNotPoison is the core single-flight
+// robustness property: a waiter whose request dies gets CtxErr
+// immediately, while the shared computation finishes untouched for the
+// remaining waiters.
+func TestCoalesceWaiterCancelDoesNotPoison(t *testing.T) {
+	g := newGroup(nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	lead := func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return 42, nil
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		v, _, err := g.do(context.Background(), "k", bgLeadCtx, lead)
+		if err == nil && v != 42 {
+			err = errors.New("leader got wrong value")
+		}
+		leaderDone <- err
+	}()
+	<-started
+
+	// A doomed waiter joins, then its request context dies.
+	wctx, wcancel := context.WithCancel(context.Background())
+	doomedDone := make(chan error, 1)
+	go func() {
+		_, joined, err := g.do(wctx, "k", bgLeadCtx, func(context.Context) (any, error) {
+			t.Error("doomed waiter must not lead")
+			return nil, nil
+		})
+		if !joined {
+			t.Error("doomed waiter did not join the in-flight call")
+		}
+		doomedDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	wcancel()
+	select {
+	case err := <-doomedDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+		}
+		if errors.Is(err, robust.ErrDeadline) {
+			t.Fatalf("client cancel misclassified as deadline: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter hung")
+	}
+
+	// A healthy waiter joins after the cancellation and still gets the
+	// shared result.
+	healthyDone := make(chan error, 1)
+	go func() {
+		v, _, err := g.do(context.Background(), "k", bgLeadCtx, nil)
+		if err == nil && v != 42 {
+			err = errors.New("healthy waiter got wrong value")
+		}
+		healthyDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	for name, ch := range map[string]chan error{"leader": leaderDone, "healthy waiter": healthyDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s hung after waiter cancellation", name)
+		}
+	}
+}
+
+// TestCoalesceLeaderPanicIsTyped: a panicking lead surfaces a typed 500
+// for every caller and fires the panic hook; nothing hangs.
+func TestCoalesceLeaderPanicIsTyped(t *testing.T) {
+	var hooked atomic.Int64
+	g := newGroup(func(error) { hooked.Add(1) })
+	_, _, err := g.do(context.Background(), "k", bgLeadCtx, func(context.Context) (any, error) {
+		panic("lead exploded")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panic in coalesced computation") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if status, _ := statusOf(err); status != http.StatusInternalServerError {
+		t.Fatalf("panic mapped to %d, want 500", status)
+	}
+	if hooked.Load() != 1 {
+		t.Fatalf("panic hook fired %d times, want 1", hooked.Load())
+	}
+	// The key must be free again.
+	v, _, err := g.do(context.Background(), "k", bgLeadCtx, func(context.Context) (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("key poisoned after panic: v=%v err=%v", v, err)
+	}
+}
+
+// TestCoalesceDistinctKeysRunIndependently guards the key discipline:
+// different keys never share results.
+func TestCoalesceDistinctKeysRunIndependently(t *testing.T) {
+	g := newGroup(nil)
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	vals := make([]any, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := "k" + string(rune('a'+i))
+			vals[i], _, _ = g.do(context.Background(), key, bgLeadCtx, func(context.Context) (any, error) {
+				execs.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				return key, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if execs.Load() != 2 {
+		t.Fatalf("executions = %d, want 2 (distinct keys must not coalesce)", execs.Load())
+	}
+	if vals[0] == vals[1] {
+		t.Fatalf("distinct keys shared a value: %v", vals[0])
+	}
+}
+
+// TestCoalesceCompletedCallDoesNotLinger: a request arriving after the
+// shared computation finished starts fresh (dedupe is concurrent-only;
+// history is the engine cache's job).
+func TestCoalesceCompletedCallDoesNotLinger(t *testing.T) {
+	g := newGroup(nil)
+	var execs atomic.Int64
+	run := func() {
+		_, _, err := g.do(context.Background(), "k", bgLeadCtx, func(context.Context) (any, error) {
+			execs.Add(1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	run()
+	if execs.Load() != 2 {
+		t.Fatalf("executions = %d, want 2 for sequential calls", execs.Load())
+	}
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"gef/internal/robust"
+)
+
+// These tests pin the deadline interplay the serving layer builds out
+// of internal/robust: three clocks can end a request — the client's own
+// context, the server budget, and the drain deadline — and whichever
+// fires first must decide the typed outcome (499 vs 504), without ever
+// poisoning a shared computation for other waiters.
+
+// TestDeadlineWaiterBudgetExpiryIs504: the waiter's budget-capped
+// request context expires while the shared computation is still
+// running → ErrDeadline (504), not a generic context error.
+func TestDeadlineWaiterBudgetExpiryIs504(t *testing.T) {
+	g := newGroup(nil)
+	release := make(chan struct{})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := g.do(ctx, "k", bgLeadCtx, func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if !errors.Is(err, robust.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if status, kind := statusOf(err); status != http.StatusGatewayTimeout || kind != "deadline" {
+		t.Fatalf("mapped to (%d, %s), want (504, deadline)", status, kind)
+	}
+}
+
+// TestDeadlineClientCancelBeatsBudget: with a generous budget, a client
+// cancel must classify as Canceled (499) — CtxErr passes Canceled
+// through untyped, and statusOf must not mistake it for a timeout.
+func TestDeadlineClientCancelBeatsBudget(t *testing.T) {
+	g := newGroup(nil)
+	release := make(chan struct{})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := g.do(ctx, "k", bgLeadCtx, func(context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || errors.Is(err, robust.ErrDeadline) {
+		t.Fatalf("err = %v, want pure context.Canceled", err)
+	}
+	if status, kind := statusOf(err); status != StatusClientClosed || kind != "canceled" {
+		t.Fatalf("mapped to (%d, %s), want (%d, canceled)", status, kind, StatusClientClosed)
+	}
+}
+
+// TestDeadlineComputeBudgetIsTyped: the shared computation's own
+// context (computeCtx caps it with the server budget) expires →
+// typedCause turns it into ErrDeadline for every waiter.
+func TestDeadlineComputeBudgetIsTyped(t *testing.T) {
+	s := New(Options{Budget: time.Hour})
+	defer s.Close()
+	g := newGroup(nil)
+	_, _, err := g.do(context.Background(), "k",
+		func() (context.Context, context.CancelFunc) { return s.computeCtx(10 * time.Millisecond) },
+		func(cctx context.Context) (any, error) {
+			<-cctx.Done()
+			return nil, cctx.Err()
+		})
+	if !errors.Is(err, robust.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline from compute budget", err)
+	}
+}
+
+// TestDeadlineDrainCauseIsTyped: a drain deadline cancels the compute
+// base with a cause wrapping ErrDeadline; in-flight computations see
+// context.Canceled underneath but must surface 504, not 499.
+func TestDeadlineDrainCauseIsTyped(t *testing.T) {
+	s := New(Options{Budget: time.Hour, DrainTimeout: 20 * time.Millisecond})
+	defer s.Close()
+	cctx, cancel := s.computeCtx(time.Hour)
+	defer cancel()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("compute context not cancelled by drain deadline")
+	}
+	err := typedCause(cctx, cctx.Err())
+	if !errors.Is(err, robust.ErrDeadline) {
+		t.Fatalf("drained computation surfaced %v, want ErrDeadline", err)
+	}
+	if status, _ := statusOf(err); status != http.StatusGatewayTimeout {
+		t.Fatalf("drained computation mapped to %d, want 504", status)
+	}
+	if errors.Is(err, errShed) {
+		t.Fatalf("drain misclassified as shed: %v", err)
+	}
+}
+
+// TestDeadlineDrainCapsComputeCtx: once draining, a new computation's
+// deadline is min(budget, drainAt) — a long budget cannot outlive the
+// drain.
+func TestDeadlineDrainCapsComputeCtx(t *testing.T) {
+	s := New(Options{Budget: time.Hour, DrainTimeout: 30 * time.Millisecond})
+	defer s.Close()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := s.computeCtx(time.Hour)
+	defer cancel()
+	dl, ok := cctx.Deadline()
+	if !ok {
+		t.Fatal("compute context has no deadline during drain")
+	}
+	if until := time.Until(dl); until > time.Second {
+		t.Fatalf("compute deadline %v away; drain must cap it near its own deadline", until)
+	}
+	// And the shorter of the two still wins the other way round: a
+	// 1ms budget under a 30ms drain expires on the budget.
+	cctx2, cancel2 := s.computeCtx(time.Millisecond)
+	defer cancel2()
+	dl2, _ := cctx2.Deadline()
+	if !dl2.Before(dl) {
+		t.Fatalf("budget deadline %v not before drain deadline %v", dl2, dl)
+	}
+}
+
+// TestDeadlineBudgetEndToEnd: a request whose budget_ms cannot cover
+// the computation gets a 504 quickly — the server never sits on a
+// doomed request.
+func TestDeadlineBudgetEndToEnd(t *testing.T) {
+	_, ts, fp := newTestServer(t, Options{})
+	cfg := fastConfig()
+	cfg.NumSamples = 50000 // slow on purpose
+	start := time.Now()
+	resp, payload := doJSON(t, http.MethodPost, ts.URL+"/v1/explain", "",
+		explainRequest{Fingerprint: fp, Config: cfg, BudgetMS: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (body %s), want 504", resp.StatusCode, payload)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("504 took %v; budget expiry must terminate the request promptly", elapsed)
+	}
+}
+
+// TestRequestBudgetClamp: budget_ms may lower, never raise, the server
+// budget.
+func TestRequestBudgetClamp(t *testing.T) {
+	s := New(Options{Budget: 100 * time.Millisecond})
+	defer s.Close()
+	if got := s.requestBudget(0); got != 100*time.Millisecond {
+		t.Fatalf("default budget = %v", got)
+	}
+	if got := s.requestBudget(10); got != 10*time.Millisecond {
+		t.Fatalf("lowered budget = %v", got)
+	}
+	if got := s.requestBudget(10_000); got != 100*time.Millisecond {
+		t.Fatalf("budget raised to %v; server cap must win", got)
+	}
+}

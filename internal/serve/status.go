@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"gef/internal/obs"
+	"gef/internal/robust"
+)
+
+// errShed marks a request refused by admission control (→ 429).
+var errShed = errors.New("overloaded: request shed")
+
+// errNotFound marks a fingerprint missing from the registry (→ 404).
+var errNotFound = errors.New("not registered")
+
+// StatusClientClosed is the non-standard 499 used when the client
+// cancelled its own request: no standard code fits ("the response will
+// never be read"), and 499 is the de-facto convention for exactly this
+// case, keeping the metric label distinct from server-caused 5xx.
+const StatusClientClosed = 499
+
+// statusOf maps an error to its HTTP status and a stable machine-
+// readable kind, implementing the typed-status contract:
+//
+//	nil                      → 200
+//	errShed                  → 429 (+ Retry-After)
+//	errNotFound              → 404
+//	robust.ErrConfig         → 400  bad request configuration
+//	robust.ErrDegenerate     → 400  unusable forest / collapsed data
+//	robust.ErrDeadline,
+//	context.DeadlineExceeded → 504  budget or drain deadline expired
+//	context.Canceled         → 499  client went away
+//	robust.ErrNumerical,
+//	anything else            → 500
+//
+// ErrDeadline is tested before Canceled so a drain cause (which wraps
+// ErrDeadline but cancels with context.Canceled underneath) counts as
+// a server timeout, not a client disconnect.
+func statusOf(err error) (int, string) {
+	switch {
+	case err == nil:
+		return http.StatusOK, ""
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests, "shed"
+	case errors.Is(err, errNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, robust.ErrConfig):
+		return http.StatusBadRequest, "config"
+	case errors.Is(err, robust.ErrDegenerate):
+		return http.StatusBadRequest, "degenerate"
+	case errors.Is(err, robust.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosed, "canceled"
+	case errors.Is(err, robust.ErrNumerical):
+		return http.StatusInternalServerError, "numerical"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// typedCause lifts a shared computation's cancellation cause into the
+// error it returns: a compute context cancelled by the drain deadline
+// (or Close) reports context.Canceled from the pipeline, but the cause
+// wraps ErrDeadline, and that — not "client disconnect" — is what the
+// waiters must see.
+func typedCause(cctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) {
+		if cause := context.Cause(cctx); cause != nil && !errors.Is(cause, context.Canceled) {
+			return fmt.Errorf("%w (pipeline: %v)", cause, err)
+		}
+	}
+	return robust.CtxErr(err)
+}
+
+// errorBody is the JSON error envelope: a human-readable message plus
+// the machine-readable kind from statusOf.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// writeJSON writes v as the response with the given status. An encode
+// failure at this point means the client is gone; it is recorded in the
+// flight ring and otherwise dropped on purpose.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obs.RecordError("serve.write", err)
+	}
+}
+
+// writeError terminates a request with its typed status, accounting the
+// outcome to the tenant.
+func (s *Server) writeError(w http.ResponseWriter, tenant string, err error) {
+	status, kind := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+		mShed.Inc()
+		s.tenantStat(tenant, func(ts *TenantStats) { ts.Shed++ })
+	} else {
+		s.tenantStat(tenant, func(ts *TenantStats) { ts.Errors++ })
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+}

@@ -1,0 +1,121 @@
+package gef
+
+// BENCH_serve.json generator (ISSUE 9): the gefd serving pipeline —
+// admission → coalescing → engine — under a duplicate-heavy closed-loop
+// mix at 100+ concurrent clients, measured in-process so the numbers
+// capture server work, not container networking. Regenerate with:
+//
+//	BENCH_SERVE_OUT=BENCH_serve.json go test -count=1 -run TestWriteServeBench .
+//
+// The duplicate-heavy mix (DupFrac 0.9 over a 2-config hot set) is the
+// coalescer's home turf: with one worker token on a 1-core host,
+// concurrent identical requests pile onto the in-flight leader, so the
+// report's coalesce_hit_rate must come out > 0 — that gate is asserted
+// here, not just recorded.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gef/internal/serve"
+)
+
+// serveBenchReport is the BENCH_serve.json shape: environment metadata
+// around the loadgen report.
+type serveBenchReport struct {
+	Name    string            `json:"name"`
+	Go      string            `json:"go"`
+	OS      string            `json:"os"`
+	Arch    string            `json:"arch"`
+	Cores   int               `json:"cores"`
+	Forests int               `json:"forests"`
+	Mix     serveBenchMix     `json:"mix"`
+	Load    *serve.LoadReport `json:"load"`
+}
+
+type serveBenchMix struct {
+	DupFrac     float64 `json:"dup_frac"`
+	ShapFrac    float64 `json:"shap_frac"`
+	BadFrac     float64 `json:"bad_frac"`
+	UnknownFrac float64 `json:"unknown_frac"`
+	CancelFrac  float64 `json:"cancel_frac"`
+}
+
+// TestWriteServeBench regenerates BENCH_serve.json; it is gated behind
+// BENCH_SERVE_OUT so regular test runs skip the load run.
+func TestWriteServeBench(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_OUT")
+	if path == "" {
+		t.Skip("set BENCH_SERVE_OUT=<path> to generate the serving-latency report")
+	}
+
+	// The queue must hold the whole closed-loop fleet: this bench
+	// measures latency under coalescing, not shed rate, so nothing
+	// should bounce off admission.
+	s := serve.New(serve.Options{MaxQueue: 4096, Budget: 30 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	fps, dim, err := serve.SeedForests(ctx, ts.URL, 2, 600, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mix := serveBenchMix{DupFrac: 0.9, ShapFrac: 0.04, BadFrac: 0.01, UnknownFrac: 0.01, CancelFrac: 0.02}
+	cfg := serve.LoadConfig{
+		BaseURL:      ts.URL,
+		Clients:      120,
+		Duration:     3 * time.Second,
+		Fingerprints: fps,
+		NumFeatures:  dim,
+		Tenants:      4,
+		DupFrac:      mix.DupFrac,
+		ShapFrac:     mix.ShapFrac,
+		BadFrac:      mix.BadFrac,
+		UnknownFrac:  mix.UnknownFrac,
+		CancelFrac:   mix.CancelFrac,
+		Seed:         41,
+	}
+	rep, err := serve.RunLoad(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Requests == 0 {
+		t.Fatal("load run completed zero requests")
+	}
+	if rep.CoalesceHitRate <= 0 {
+		t.Fatalf("coalesce hit rate %.3f under a %.0f%% duplicate mix at %d clients; single-flight is not engaging",
+			rep.CoalesceHitRate, mix.DupFrac*100, cfg.Clients)
+	}
+	if rep.Status["200"] == 0 {
+		t.Fatalf("no successful requests in the mix: %+v", rep.Status)
+	}
+
+	out := serveBenchReport{
+		Name:    "gef-serve-bench",
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		Cores:   runtime.NumCPU(),
+		Forests: len(fps),
+		Mix:     mix,
+		Load:    rep,
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d reqs, %.0f req/s, p50 %.1fms p99 %.1fms, coalesce %.2f engine %.2f",
+		path, rep.Requests, rep.ReqPerSec, rep.P50Ms, rep.P99Ms, rep.CoalesceHitRate, rep.EngineHitRate)
+}

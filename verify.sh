@@ -34,16 +34,25 @@ go test -count=1 -run TestFaultInjection ./...
 # policy).
 BENCH_FOREST_OUT=BENCH_forest.json go test -count=1 -run TestWriteForestBench .
 
+# Serving benchmark: regenerates BENCH_serve.json (p50/p99 latency,
+# req/s, engine-cache and coalescing hit rates at 100+ closed-loop
+# clients over a duplicate-heavy mix). The generating test fails if the
+# coalescer never engages, so a wiring regression in the single-flight
+# path cannot hide behind a green report.
+BENCH_SERVE_OUT=BENCH_serve.json go test -count=1 -run TestWriteServeBench .
+
 # Race gate: every package whose sources (tests included) start
 # goroutines, touch sync/atomic primitives, or import the internal/par
-# worker-pool runtime is re-run under the race detector. The set is
-# discovered by scanning, not hard-coded, so new concurrent (or newly
-# parallelized) code is raced automatically. In particular the sync.Mutex
-# in internal/core's engine artifact cache keeps internal/core (and the
-# root package, whose session tests share one engine across calls) in
-# the raced set.
+# worker-pool runtime or the serving layer is re-run under the race
+# detector. The set is discovered by scanning, not hard-coded, so new
+# concurrent (or newly parallelized) code is raced automatically. In
+# particular the sync.Mutex in internal/core's engine artifact cache
+# keeps internal/core (and the root package, whose session tests share
+# one engine across calls) in the raced set, and the "gef/internal/serve"
+# pattern pulls in cmd/gefd and cmd/gefd/loadgen, whose own sources are
+# thin flag-parsing shells around the raced serve package.
 race_pkgs=$(grep -rl --include='*.go' --exclude-dir=testdata \
-	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"|"gef/internal/robust"' . |
+	-E 'go func|[^a-zA-Z0-9_.]sync\.|"sync/atomic"|[^a-zA-Z0-9_.]atomic\.|"gef/internal/par"|"gef/internal/robust"|"gef/internal/serve"' . |
 	xargs -r -n1 dirname | sort -u)
 if [ -n "${race_pkgs}" ]; then
 	# shellcheck disable=SC2086 # word splitting is the point
@@ -54,3 +63,34 @@ fi
 # telemetry every run depends on; race them explicitly so a -run filter
 # or a scan regression above can never drop the gate.
 go test -race -count=1 ./internal/obs
+
+# Serve smoke gate (ISSUE 9): boot the real daemon on a random port,
+# drive it with the real load generator, and require /healthz plus a
+# non-empty loadgen report — then SIGTERM it so every verification run
+# exercises the graceful-drain path end to end.
+smoke_dir=$(mktemp -d)
+go build -o "${smoke_dir}/gefd" ./cmd/gefd
+go build -o "${smoke_dir}/loadgen" ./cmd/gefd/loadgen
+"${smoke_dir}/gefd" -listen 127.0.0.1:0 >"${smoke_dir}/gefd.log" 2>&1 &
+gefd_pid=$!
+trap 'kill "${gefd_pid}" 2>/dev/null || true; rm -rf "${smoke_dir}"' EXIT
+tries=0
+until grep -q 'serving on' "${smoke_dir}/gefd.log"; do
+	tries=$((tries + 1))
+	if [ "${tries}" -gt 100 ]; then
+		echo 'smoke: gefd never became ready' >&2
+		cat "${smoke_dir}/gefd.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+gefd_url=$(sed -n 's|^gefd: serving on ||p' "${smoke_dir}/gefd.log")
+curl -fsS "${gefd_url}/healthz"
+"${smoke_dir}/loadgen" -base "${gefd_url}" -clients 16 -duration 2s \
+	-dup-frac 0.8 -out "${smoke_dir}/smoke.json" >/dev/null
+test -s "${smoke_dir}/smoke.json"
+test -s BENCH_serve.json
+kill -TERM "${gefd_pid}"
+wait "${gefd_pid}"
+trap - EXIT
+rm -rf "${smoke_dir}"
