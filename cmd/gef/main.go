@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	gefapi "gef"
 	"gef/internal/core"
 	"gef/internal/distill"
 	"gef/internal/featsel"
@@ -43,6 +44,7 @@ import (
 func main() {
 	var (
 		forestPath   = flag.String("forest", "", "serialized forest JSON (required)")
+		family       = flag.String("family", core.FamilyGAM, "explainer family: "+strings.Join(core.Families(), ", "))
 		splines      = flag.Int("splines", 5, "number of univariate components |F'|")
 		interactions = flag.Int("interactions", 0, "number of bi-variate components |F''|")
 		strategy     = flag.String("strategy", "equi-size", "sampling strategy: all-thresholds, k-quantile, equi-width, k-means, equi-size, random")
@@ -107,6 +109,7 @@ func main() {
 		len(f.Trees), f.NumNodes(), f.NumFeatures, f.Objective, f.Fingerprint())
 
 	cfg := core.Config{
+		Family:              *family,
 		NumUnivariate:       *splines,
 		NumInteractions:     *interactions,
 		InteractionStrategy: featsel.InteractionStrategy(*interStrat),
@@ -143,8 +146,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gef: %s\n", core.SharedEngine().CacheStats())
 	}
 
-	fmt.Printf("\nGEF explanation — |F'| = %d, |F''| = %d, strategy %s\n",
-		len(e.Features), len(e.Pairs), *strategy)
+	fmt.Printf("\nGEF explanation — family %s, |F'| = %d, |F''| = %d, strategy %s\n",
+		e.Family, len(e.Features), len(e.Pairs), *strategy)
 	if len(e.Degradations) > 0 {
 		fmt.Printf("WARNING: the explanation was degraded %d time(s) to survive failures:\n", len(e.Degradations))
 		for _, d := range e.Degradations {
@@ -159,8 +162,21 @@ func main() {
 		}
 	}
 	fmt.Printf("fidelity on held-out D*: RMSE %.4f, R² %.4f\n", e.Fidelity.RMSE, e.Fidelity.R2)
-	fmt.Printf("GAM: λ = %.4g, edf = %.1f, intercept = %.4f\n\n",
-		e.Model.Report().Lambda, e.Model.Report().EDF, e.Model.Intercept())
+	switch {
+	case e.Model != nil:
+		fmt.Printf("GAM: λ = %.4g, edf = %.1f, intercept = %.4f\n\n",
+			e.Model.Report().Lambda, e.Model.Report().EDF, e.Model.Intercept())
+	case gefapi.RulesOf(e) != nil:
+		s := gefapi.RulesOf(e).Summary()
+		fmt.Printf("rules: tolerance %.3g (abs %.4g), mean kept trees %.1f of %d\n\n",
+			s.Tolerance, s.AbsTolerance, s.MeanKeptTrees, s.NumTrees)
+	case gefapi.SmootherOf(e) != nil:
+		sm := gefapi.SmootherOf(e)
+		fmt.Printf("smoother: dictionary %d rows over %d features, adaptive bandwidths\n\n",
+			len(sm.Payload().Dict), len(sm.Features()))
+	default:
+		fmt.Printf("%s surrogate fitted (no per-term report)\n\n", e.Family)
+	}
 
 	fmt.Println("selected features (by accumulated gain):")
 	imp := f.GainImportance()
@@ -174,7 +190,7 @@ func main() {
 		}
 	}
 
-	if !*noCharts {
+	if !*noCharts && e.Model != nil {
 		for ti := 0; ti < e.Model.NumTerms(); ti++ {
 			spec := e.Model.Term(ti)
 			if spec.Kind == gam.Tensor {
@@ -201,10 +217,23 @@ func main() {
 	}
 
 	if *saveModel != "" {
-		if err := e.Model.SaveFile(*saveModel, true); err != nil {
-			fatal("saving model: %v", err)
+		if e.Model != nil {
+			if err := e.Model.SaveFile(*saveModel, true); err != nil {
+				fatal("saving model: %v", err)
+			}
+			fmt.Printf("\nfitted GAM written to %s\n", *saveModel)
+		} else {
+			// Non-GAM families have no standalone model file; persist the
+			// whole explanation (versioned, family-tagged) instead.
+			blob, err := e.Marshal(true)
+			if err != nil {
+				fatal("saving explanation: %v", err)
+			}
+			if err := os.WriteFile(*saveModel, blob, 0o644); err != nil {
+				fatal("saving explanation: %v", err)
+			}
+			fmt.Printf("\nserialized %s explanation written to %s\n", e.Family, *saveModel)
 		}
-		fmt.Printf("\nfitted GAM written to %s\n", *saveModel)
 	}
 
 	if *doDistill {
@@ -225,15 +254,24 @@ func main() {
 			fatal("parsing -explain: %v", err)
 		}
 		le := e.ExplainInstance(x)
-		fmt.Printf("\nlocal explanation — forest output %.4f, GAM output %.4f, intercept %.4f\n",
+		fmt.Printf("\nlocal explanation — forest output %.4f, surrogate output %.4f, intercept %.4f\n",
 			le.ForestOutput, le.GamPrediction, le.Intercept)
-		labels := make([]string, len(le.Contributions))
-		values := make([]float64, len(le.Contributions))
-		for i, c := range le.Contributions {
-			labels[i] = c.Spec.Label(f.FeatureName)
-			values[i] = c.Value
+		if len(le.Contributions) > 0 {
+			labels := make([]string, len(le.Contributions))
+			values := make([]float64, len(le.Contributions))
+			for i, c := range le.Contributions {
+				labels[i] = c.Spec.Label(f.FeatureName)
+				values[i] = c.Value
+			}
+			fmt.Print(plot.Bars(labels, values, 40))
 		}
-		fmt.Print(plot.Bars(labels, values, 40))
+		if rm := gefapi.RulesOf(e); rm != nil && rm.Fitted() {
+			rule, rerr := rm.Explain(x)
+			if rerr != nil {
+				fatal("extracting rule: %v", rerr)
+			}
+			fmt.Printf("rule: %s\n", rule)
+		}
 	}
 }
 

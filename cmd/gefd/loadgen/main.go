@@ -27,6 +27,17 @@ import (
 
 func main() { os.Exit(run()) }
 
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 func run() int {
 	var (
 		base     = flag.String("base", "http://127.0.0.1:8080", "gefd base URL")
@@ -44,6 +55,7 @@ func run() int {
 		cancFrac = flag.Float64("cancel-frac", 0, "fraction abandoned after ~1ms client-side")
 		budgetMS = flag.Int("budget-ms", 0, "per-request budget_ms (0 = server default)")
 		samples  = flag.Int("samples", 2000, "explain config |D*| (small keeps closed-loop latency benchable)")
+		families = flag.String("families", "", "comma-separated explainer families to rotate explains across (empty = server default)")
 		seed     = flag.Int64("seed", 1, "request-mix seed")
 		out      = flag.String("out", "", "write the JSON report to this file (default: stdout)")
 	)
@@ -82,6 +94,7 @@ func run() int {
 		CancelFrac:   *cancFrac,
 		BudgetMS:     *budgetMS,
 		NumSamples:   *samples,
+		Families:     splitList(*families),
 		Seed:         *seed,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ package gef
 // outputs with ==, not tolerances.
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -332,6 +333,64 @@ func TestEngineWarmCacheDeterministicAcrossWorkers(t *testing.T) {
 			cold, warm, _ := runTwice()
 			requireSameFloats(t, "cold predictions", ref, cold, w)
 			requireSameFloats(t, "warm predictions", ref, warm, w)
+		})
+	}
+}
+
+// TestFamilySurrogatesDeterministicAcrossWorkers extends the
+// determinism gate to the explainer-family registry (ISSUE 10): every
+// first-party surrogate family must produce bitwise-identical
+// predictions at workers ∈ {1, 2, NumCPU}, cold and warm. Warm runs
+// exercise a different code path per family — gam refits over cached
+// upstream artifacts while rules/smoother replay a cached fit-stage
+// model — and both must be output-invisible.
+func TestFamilySurrogatesDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline sweep")
+	}
+	f, ds := trainFixtureForest(t)
+	rows := ds.X[:100]
+	for _, fam := range []string{FamilyGAM, FamilyRules, FamilySmoother} {
+		t.Run(fam, func(t *testing.T) {
+			cfg := Config{
+				Family:        fam,
+				NumUnivariate: 4,
+				NumSamples:    2000,
+				Sampling:      SamplingConfig{Strategy: EquiSize, K: 40},
+				GAM:           GAMOptions{Lambdas: []float64{0.01, 1, 100}},
+				Seed:          3,
+			}
+			runTwice := func() (cold, warm []float64) {
+				s := NewExplainer(f)
+				for i, out := range []*[]float64{&cold, &warm} {
+					e, err := s.Explain(cfg)
+					if err != nil {
+						t.Fatalf("run %d: %v", i, err)
+					}
+					if e.Family != fam {
+						t.Fatalf("run %d: family %q, want %q (fallback must not fire here)", i, e.Family, fam)
+					}
+					preds, err := e.Surrogate.PredictBatch(context.Background(), rows)
+					if err != nil {
+						t.Fatalf("run %d: predict: %v", i, err)
+					}
+					*out = preds
+				}
+				return cold, warm
+			}
+			var ref []float64
+			atWorkers(t, 1, func() {
+				cold, warm := runTwice()
+				requireSameFloats(t, fam+" warm vs cold predictions", cold, warm, 1)
+				ref = cold
+			})
+			for _, w := range workerCounts()[1:] {
+				atWorkers(t, w, func() {
+					cold, warm := runTwice()
+					requireSameFloats(t, fam+" cold predictions", ref, cold, w)
+					requireSameFloats(t, fam+" warm predictions", ref, warm, w)
+				})
+			}
 		})
 	}
 }

@@ -83,12 +83,35 @@ func TestFaultInjectionCholeskyExhaustion(t *testing.T) {
 			}
 		})
 	})
-	t.Run("pipeline ladder exhausted", func(t *testing.T) {
+	t.Run("pipeline falls back to the rules family", func(t *testing.T) {
+		// When the GAM's whole structural ladder is exhausted, the fit
+		// stage walks the cross-family ladder (gam → rules) instead of
+		// failing: the rule family needs no factorization, so the
+		// pipeline still produces a valid (simpler) explanation and
+		// records the family fallback.
 		f := faultForest(t)
 		withInjector(t, robust.NewInjector(1, robust.FailAlways(robust.SiteCholesky, -1)), func() {
-			_, err := Explain(f, faultCfg())
-			if !errors.Is(err, robust.ErrNumerical) {
-				t.Fatalf("want ErrNumerical after ladder exhaustion, got %v", err)
+			e, err := Explain(f, faultCfg())
+			if err != nil {
+				t.Fatalf("family fallback should rescue the explanation, got %v", err)
+			}
+			if e.Family != FamilyRules {
+				t.Fatalf("want the rules family after GAM exhaustion, got %q", e.Family)
+			}
+			if e.Model != nil {
+				t.Fatal("non-gam explanation must not expose a GAM model")
+			}
+			var fellBack bool
+			for _, d := range e.Degradations {
+				if d.Action == robust.ActionFallbackFamily {
+					fellBack = true
+				}
+			}
+			if !fellBack {
+				t.Fatalf("want a %s degradation, got %v", robust.ActionFallbackFamily, e.Degradations)
+			}
+			if math.IsNaN(e.Fidelity.RMSE) || math.IsInf(e.Fidelity.RMSE, 0) {
+				t.Fatalf("fallback fidelity is not finite: %+v", e.Fidelity)
 			}
 		})
 	})

@@ -39,8 +39,10 @@ import (
 	"gef/internal/obs"
 	"gef/internal/pdp"
 	"gef/internal/robust"
+	"gef/internal/rules"
 	"gef/internal/sampling"
 	"gef/internal/shap"
+	"gef/internal/smoother"
 )
 
 // Forest is an additive ensemble of binary decision trees — the black-box
@@ -109,8 +111,73 @@ func LoadForest(path string) (*Forest, error) { return forest.LoadFile(path) }
 
 // Config controls the GEF pipeline; zero values take the paper's
 // defaults (|F′| = 5, Equi-Size sampling, Gain-Path interactions,
-// N = 100,000, L = 10).
+// N = 100,000, L = 10, the gam explainer family).
 type Config = core.Config
+
+// SurrogateModel is a fitted explainer of any family: it predicts the
+// forest's response and serializes its family-specific payload. See
+// Explanation.Surrogate; the gam family's richer API stays on
+// Explanation.Model.
+type SurrogateModel = core.SurrogateModel
+
+// Explainer family names for Config.Family. Every family shares the
+// upstream pipeline stages (feature selection, sampling domains, D*),
+// so switching families on a warm session reuses those artifacts.
+const (
+	// FamilyGAM is the paper's explainer (default): a penalized
+	// B-spline GAM with optional tensor interaction terms.
+	FamilyGAM = core.FamilyGAM
+	// FamilyRules produces per-prediction reduced conjunctive rules
+	// (LionForests-style; see RulesConfig).
+	FamilyRules = core.FamilyRules
+	// FamilySmoother is the forest-guided kernel smoother with
+	// proximity-adaptive bandwidths (see SmootherConfig).
+	FamilySmoother = core.FamilySmoother
+	// FamilyLIME fits one global LIME ridge surrogate (baseline).
+	FamilyLIME = core.FamilyLIME
+	// FamilyDistill distills the forest into one shallow tree (baseline).
+	FamilyDistill = core.FamilyDistill
+)
+
+// Families returns the registered explainer family names, sorted.
+func Families() []string { return core.Families() }
+
+// RulesConfig configures the rule explainer family (Config.Rules).
+type RulesConfig = rules.Config
+
+// RuleModel is the rule family's concrete fitted model: per-instance
+// reduced conjunctive rules. Obtain it with RulesOf.
+type RuleModel = rules.Model
+
+// Rule is one reduced conjunctive explanation ("f1 > 0.2 AND
+// f3 ∈ (0.1, 0.8] → 4.21").
+type Rule = rules.Rule
+
+// RulesOf returns the rule family's concrete model behind an
+// explanation's surrogate (nil when the explanation is not rule-family).
+func RulesOf(e *Explanation) *RuleModel {
+	if rm, ok := e.Surrogate.(interface{ Rules() *rules.Model }); ok {
+		return rm.Rules()
+	}
+	return nil
+}
+
+// SmootherConfig configures the kernel-smoother family (Config.Smoother).
+type SmootherConfig = smoother.Config
+
+// SmootherModel is the smoother family's concrete fitted model
+// (bandwidth reports, serializable payload). Obtain it with SmootherOf.
+type SmootherModel = smoother.Model
+
+// SmootherOf returns the smoother family's concrete model behind an
+// explanation's surrogate (nil when the explanation is not
+// smoother-family).
+func SmootherOf(e *Explanation) *SmootherModel {
+	if sm, ok := e.Surrogate.(interface{ Smoother() *smoother.Model }); ok {
+		return sm.Smoother()
+	}
+	return nil
+}
 
 // Explanation is the result of Explain: the fitted GAM, the selected
 // features F′ and interactions F″, the synthetic dataset D*, and

@@ -97,6 +97,10 @@ func (e *Engine) AutoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoC
 func (e *Engine) autoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoConfig) (*Explanation, []AutoStep, error) {
 	cfg = cfg.withDefaults(f)
 	base := cfg.Base.withDefaults()
+	if base.Family != FamilyGAM {
+		return nil, nil, fmt.Errorf("gef: AutoExplain searches GAM structure; family %q is not supported: %w",
+			base.Family, robust.ErrConfig)
+	}
 	ctx, root := obs.Start(ctx, "gef.auto_explain",
 		obs.Int("max_univariate", cfg.MaxUnivariate),
 		obs.Int("max_interactions", cfg.MaxInteractions),
@@ -224,6 +228,8 @@ func (e *Engine) autoExplainCtx(ctx context.Context, f *forest.Forest, cfg AutoC
 	chosen.NumUnivariate = ns
 	chosen.NumInteractions = ni
 	ex := &Explanation{
+		Family:       FamilyGAM,
+		Surrogate:    &gamModel{m: bestModel},
 		Model:        bestModel,
 		Features:     append([]int(nil), features[:ns]...),
 		Pairs:        bestPairs,

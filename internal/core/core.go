@@ -18,7 +18,9 @@ import (
 	"gef/internal/gam"
 	"gef/internal/obs"
 	"gef/internal/robust"
+	"gef/internal/rules"
 	"gef/internal/sampling"
+	"gef/internal/smoother"
 	"gef/internal/stats"
 )
 
@@ -26,6 +28,12 @@ import (
 // are NumUnivariate (|F′|), NumInteractions (|F″|), the sampling strategy
 // and its K; everything else has paper defaults.
 type Config struct {
+	// Family selects the explainer family the fit stage produces
+	// (default FamilyGAM, the paper's explainer). See Families() for the
+	// registered names; every family shares the upstream pipeline
+	// stages, so switching families on a warm engine reuses the cached
+	// forest statistics, domains and D* sample.
+	Family string
 	// NumUnivariate is |F′|, the number of univariate components.
 	NumUnivariate int
 	// NumInteractions is |F″|, the number of bi-variate components
@@ -49,8 +57,15 @@ type Config struct {
 	// 12 and 6).
 	SplineBasis int
 	TensorBasis int
-	// GAM passes fitting options through (λ grid, IRLS limits).
+	// GAM passes fitting options through (λ grid, IRLS limits); read by
+	// the gam family only.
 	GAM gam.Options
+	// Rules configures the rule family (read when Family is
+	// FamilyRules, or when the fallback ladder lands there).
+	Rules rules.Config
+	// Smoother configures the kernel-smoother family (read when Family
+	// is FamilySmoother).
+	Smoother smoother.Config
 	// HStatSample is the D* subsample size used when
 	// InteractionStrategy is H-Stat (default 150; the statistic costs
 	// O(n²) forest evaluations per pair).
@@ -64,6 +79,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Family == "" {
+		c.Family = FamilyGAM
+	}
+	c.Rules = c.Rules.WithDefaults()
+	c.Smoother = c.Smoother.WithDefaults()
 	if c.NumUnivariate == 0 {
 		c.NumUnivariate = 5
 	}
@@ -111,6 +131,29 @@ const minBasis = 4
 func (c Config) Validate() error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("gef: "+format+": %w", append(args, robust.ErrConfig)...)
+	}
+	if c.Family != "" {
+		if _, err := surrogateFor(c.Family); err != nil {
+			return err
+		}
+	}
+	if t := c.Rules.Tolerance; math.IsNaN(t) || t < 0 {
+		return fail("Rules.Tolerance = %v is not a non-negative number", t)
+	}
+	if c.Rules.SummarySample < 0 {
+		return fail("Rules.SummarySample = %d is negative", c.Rules.SummarySample)
+	}
+	if c.Smoother.DictSize < 0 {
+		return fail("Smoother.DictSize = %d is negative", c.Smoother.DictSize)
+	}
+	if c.Smoother.ProximitySample < 0 {
+		return fail("Smoother.ProximitySample = %d is negative", c.Smoother.ProximitySample)
+	}
+	if t := c.Smoother.ProximityThreshold; math.IsNaN(t) || t < 0 || t > 1 {
+		return fail("Smoother.ProximityThreshold = %v is outside [0, 1]", t)
+	}
+	if s := c.Smoother.BandwidthScale; math.IsNaN(s) || s < 0 {
+		return fail("Smoother.BandwidthScale = %v is not a non-negative number", s)
 	}
 	if c.NumUnivariate < 0 {
 		return fail("NumUnivariate = %d is negative", c.NumUnivariate)
@@ -165,7 +208,15 @@ type Fidelity struct {
 
 // Explanation is the result of running GEF on a forest.
 type Explanation struct {
-	// Model is the fitted GAM surrogate Γ.
+	// Family names the explainer family that actually produced the
+	// model — normally Config.Family, but the cross-family fallback
+	// ladder can land on a simpler family (see Degradations).
+	Family string
+	// Surrogate is the fitted explainer of whatever family. For the gam
+	// family it wraps the same model Model exposes.
+	Surrogate SurrogateModel
+	// Model is the fitted GAM surrogate Γ when Family is FamilyGAM, nil
+	// for every other family (their models live behind Surrogate).
 	Model *gam.Model
 	// Features is F′ in decreasing importance order.
 	Features []int
@@ -304,18 +355,20 @@ func (e *Engine) explainCtx(ctx context.Context, f *forest.Forest, cfg Config) (
 		pairs = append([]featsel.Pair(nil), ranking[:k]...)
 	}
 
-	// §3.5 — build the GAM spec and fit Γ on D*, degrading structurally
-	// when the numerical recovery inside gam is exhausted.
+	// §3.5 — fit the selected explainer family on D*, degrading within
+	// the family (e.g. the GAM structural ladder) and then across
+	// families (fallback ladder) when numerical recovery is exhausted.
 	if err := checkpoint(4); err != nil {
 		return nil, err
 	}
-	model, err := p.fitModel(ctx, pairs, cfg.GAM)
+	model, err := p.fitSurrogate(ctx, pairs)
 	if err != nil {
-		return nil, fmt.Errorf("gef: fitting the explanation GAM: %w", err)
+		return nil, fmt.Errorf("gef: fitting the %s explanation: %w", cfg.Family, err)
 	}
 
 	ex := &Explanation{
-		Model:        model,
+		Family:       model.Family(),
+		Surrogate:    model,
 		Features:     p.features,
 		Pairs:        pairs,
 		Domains:      p.domains,
@@ -325,8 +378,16 @@ func (e *Engine) explainCtx(ctx context.Context, f *forest.Forest, cfg Config) (
 		Config:       cfg,
 		Degradations: p.degr,
 	}
-	_, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(p.test.X)))
-	pred := model.PredictBatch(p.test.X)
+	if gm, ok := model.(*gamModel); ok {
+		ex.Model = gm.m
+	}
+	fctx, fsp := obs.Start(ctx, "gef.fidelity", obs.Int("test_rows", len(p.test.X)),
+		obs.Str("family", ex.Family))
+	pred, perr := model.PredictBatch(fctx, p.test.X)
+	if perr != nil {
+		fsp.End()
+		return nil, perr
+	}
 	ex.Fidelity = Fidelity{
 		RMSE: stats.RMSE(pred, p.test.Y),
 		R2:   stats.R2(pred, p.test.Y),
@@ -337,20 +398,71 @@ func (e *Engine) explainCtx(ctx context.Context, f *forest.Forest, cfg Config) (
 	return ex, nil
 }
 
-// fitModel runs the fit stage over the pipeline's current features and
-// the given pairs. Fitted models are never cached (empty stage key);
-// the stage's hit/miss numbers surface the basis/penalty reuse inside
-// the engine's gam.BasisCache instead.
-func (p *pipeline) fitModel(ctx context.Context, pairs []featsel.Pair, opt gam.Options) (*gam.Model, error) {
+// fitSurrogate resolves Config.Family against the surrogate registry
+// and runs the fit stage, walking the cross-family fallback ladder when
+// a family fails numerically even after its own in-family recovery.
+// Each fallback rung is recorded in the pipeline's degradation list, so
+// the caller always knows which family actually produced the model.
+func (p *pipeline) fitSurrogate(ctx context.Context, pairs []featsel.Pair) (SurrogateModel, error) {
+	fam := p.cfg.Family
+	for {
+		sur, err := surrogateFor(fam)
+		if err != nil {
+			return nil, err
+		}
+		model, err := p.runFit(ctx, sur, pairs)
+		if err == nil {
+			return model, nil
+		}
+		next, ok := familyFallback[fam]
+		if !ok || !errors.Is(err, robust.ErrNumerical) {
+			return nil, err
+		}
+		robust.Record(ctx, &p.degr, robust.Degradation{
+			Stage:  "fit",
+			Action: robust.ActionFallbackFamily,
+			Reason: err.Error(),
+			Detail: fmt.Sprintf("family %s → %s", fam, next),
+		})
+		fam = next
+	}
+}
+
+// runFit runs one family's fit through the engine. Families with a
+// non-empty Key fragment cache their fitted model as a fit-stage
+// artifact keyed under the sample key, the family, the pair list and
+// the fragment; the gam family stays uncached (empty key) and surfaces
+// its reuse through the engine's gam.BasisCache counters instead — the
+// unconditional addStage below folds those deltas into the "fit" row.
+func (p *pipeline) runFit(ctx context.Context, sur Surrogate, pairs []featsel.Pair) (SurrogateModel, error) {
+	key := ""
+	if frag := sur.Key(p.cfg); frag != "" {
+		key = "ft|" + p.smpKey + "|fam=" + sur.Name() + "|p=" + pairsKey(pairs) + "|" + frag
+	}
 	h0, m0 := p.eng.basis.Counters()
 	v, err := p.eng.runStage(ctx, p, stage{
 		name: "fit",
+		key:  func(*pipeline) string { return key },
 		run: func(ctx context.Context, p *pipeline) (any, error) {
-			spec, serr := buildSpec(p.f, p.stats.thresholds, p.features, pairs, p.cfg)
-			if serr != nil {
-				return nil, serr
+			model, degr, ferr := sur.Fit(ctx, &FitInput{
+				Forest:     p.f,
+				Config:     p.cfg,
+				Features:   p.features,
+				Pairs:      pairs,
+				Thresholds: p.stats.thresholds,
+				Domains:    p.domains,
+				Train:      p.train,
+				Test:       p.test,
+				Basis:      p.eng.basis,
+			})
+			if ferr != nil {
+				// In-family degradations that preceded the failure still
+				// belong to the pipeline record (the ladder may fall back
+				// to another family and succeed).
+				p.degr = append(p.degr, degr...)
+				return nil, ferr
 			}
-			return fitLadder(ctx, spec, p.train, opt, &p.degr, p.eng.basis)
+			return &fitArtifact{model: model, degr: degr}, nil
 		},
 	})
 	h1, m1 := p.eng.basis.Counters()
@@ -358,7 +470,12 @@ func (p *pipeline) fitModel(ctx context.Context, pairs []featsel.Pair, opt gam.O
 	if err != nil {
 		return nil, err
 	}
-	return v.(*gam.Model), nil
+	art := v.(*fitArtifact)
+	// Replay the fit's degradations on cache hits too (metrics were
+	// already counted when the artifact was computed — mirror the
+	// domains stage and only extend the pipeline record here).
+	p.degr = append(p.degr, art.degr...)
+	return art.model, nil
 }
 
 // fitLadder fits spec, walking the structural degradation ladder when
@@ -510,7 +627,15 @@ func (e *Explanation) EvaluateOnCtx(ctx context.Context, ds *dataset.Dataset) (T
 	if err != nil {
 		return Table2Row{}, robust.CtxErr(err)
 	}
-	gamPred := e.Model.PredictBatch(ds.X)
+	var gamPred []float64
+	if e.Model != nil {
+		gamPred = e.Model.PredictBatch(ds.X)
+	} else {
+		gamPred, err = e.Surrogate.PredictBatch(ctx, ds.X)
+		if err != nil {
+			return Table2Row{}, robust.CtxErr(err)
+		}
+	}
 	return Table2Row{
 		ForestVsLabels: stats.R2(forestPred, ds.Y),
 		GamVsForest:    stats.R2(gamPred, forestPred),
@@ -528,21 +653,31 @@ type Table2Row struct {
 
 // LocalExplanation describes one prediction (paper Fig. 11): the
 // intercept, per-term contributions sorted by magnitude, and the forest
-// and GAM predictions for cross-checking.
+// and surrogate predictions for cross-checking. Intercept and
+// Contributions are populated by the gam family only — other families
+// report the surrogate prediction without an additive decomposition
+// (the rule family's per-instance rules live on its concrete model).
 type LocalExplanation struct {
 	Intercept     float64
 	Contributions []gam.Contribution
+	// GamPrediction is the surrogate's prediction for x, whatever the
+	// family (the name predates pluggable families and is kept for
+	// compatibility).
 	GamPrediction float64
 	ForestOutput  float64
 }
 
 // ExplainInstance produces the local explanation of x.
 func (e *Explanation) ExplainInstance(x []float64) LocalExplanation {
-	intercept, contribs := e.Model.Explain(x)
-	return LocalExplanation{
-		Intercept:     intercept,
-		Contributions: contribs,
-		GamPrediction: e.Model.Predict(x),
-		ForestOutput:  e.Forest.Predict(x),
+	le := LocalExplanation{}
+	if e.Forest != nil {
+		le.ForestOutput = e.Forest.Predict(x)
 	}
+	if e.Model != nil {
+		le.Intercept, le.Contributions = e.Model.Explain(x)
+		le.GamPrediction = e.Model.Predict(x)
+	} else if e.Surrogate != nil {
+		le.GamPrediction = e.Surrogate.Predict(x)
+	}
+	return le
 }

@@ -37,9 +37,12 @@ const defaultCacheBudget = 256 << 20
 // candidate search, repeated Explain calls with overlapping configs and
 // batch CLI runs reuse forest statistics, threshold sets, sampling
 // domains, sampled D* splits and interaction rankings instead of
-// recomputing them. Fitted models are never cached (they depend on the
-// whole upstream state); the fit stage instead reuses B-spline bases
-// and penalty blocks through a session-wide gam.BasisCache.
+// recomputing them — and because every explainer family shares those
+// upstream stages, a family sweep on one engine pays for them once.
+// Fitted GAMs are never cached (they depend on the whole upstream
+// state); the gam fit instead reuses B-spline bases and penalty blocks
+// through a session-wide gam.BasisCache. The other families cache their
+// fitted models as ordinary fit-stage artifacts (see Surrogate.Key).
 //
 // Cached artifacts are immutable by convention: stages copy anything
 // they need to mutate, and result fields that alias cache entries
@@ -312,6 +315,8 @@ func artifactCost(v any) int64 {
 		return c
 	case []featsel.Pair:
 		return int64(len(a))*24 + 64
+	case *fitArtifact:
+		return a.cost()
 	default:
 		return 1024
 	}

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gef/internal/robust"
+	"gef/internal/rules"
 )
 
 // TestExplanationRoundTrip: Marshal → Unmarshal preserves the model's
@@ -67,5 +71,124 @@ func TestExplanationRoundTrip(t *testing.T) {
 
 	if _, err := Unmarshal([]byte(`{"version":99,"model":{}}`)); err == nil {
 		t.Error("future format version accepted")
+	}
+}
+
+// TestFamilyPayloadRoundTrip covers the non-GAM families' serialization
+// path: the family tag and the family-specific payload must survive the
+// trip, and the reloaded surrogate must predict bitwise identically
+// where the family supports standalone prediction.
+func TestFamilyPayloadRoundTrip(t *testing.T) {
+	f := gprimeForest(t)
+
+	t.Run("smoother", func(t *testing.T) {
+		cfg := quickCfg()
+		cfg.Family = FamilySmoother
+		e, err := NewEngine().Explain(f, cfg)
+		if err != nil {
+			t.Fatalf("Explain: %v", err)
+		}
+		data, err := e.Marshal(false)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if got.Family != FamilySmoother {
+			t.Fatalf("family = %q, want %q", got.Family, FamilySmoother)
+		}
+		if got.Model != nil {
+			t.Fatal("smoother explanation must not carry a GAM model")
+		}
+		// The smoother payload is self-contained: the reloaded model must
+		// predict bitwise identically to the in-process one.
+		for i, x := range e.Test.X[:50] {
+			want := e.Surrogate.Predict(x)
+			if have := got.Surrogate.Predict(x); have != want {
+				t.Fatalf("prediction %d: got %v, want %v", i, have, want)
+			}
+		}
+	})
+
+	t.Run("rules", func(t *testing.T) {
+		cfg := quickCfg()
+		cfg.Family = FamilyRules
+		e, err := NewEngine().Explain(f, cfg)
+		if err != nil {
+			t.Fatalf("Explain: %v", err)
+		}
+		data, err := e.Marshal(false)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if got.Family != FamilyRules {
+			t.Fatalf("family = %q, want %q", got.Family, FamilyRules)
+		}
+		// A reloaded rule model retains only its summary (the forest is
+		// not serialized): the fitted summary must round-trip exactly.
+		type summarized interface{ Rules() *rules.Model }
+		want := e.Surrogate.(summarized).Rules().Summary()
+		have := got.Surrogate.(summarized).Rules().Summary()
+		if want != have {
+			t.Fatalf("summary: got %+v, want %+v", have, want)
+		}
+		if got.Surrogate.(summarized).Rules().Fitted() {
+			t.Fatal("reloaded rule model claims to be fitted")
+		}
+	})
+}
+
+// TestUnknownFamilyTypedError pins forward compatibility: a blob tagged
+// with a family this build does not register must fail with a typed
+// ErrConfig naming the family — never a panic, never a silent gam parse.
+func TestUnknownFamilyTypedError(t *testing.T) {
+	_, err := Unmarshal([]byte(`{"version":2,"family":"holo","payload":{}}`))
+	if err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if !errors.Is(err, robust.ErrConfig) {
+		t.Fatalf("err = %v, want robust.ErrConfig", err)
+	}
+	if !strings.Contains(err.Error(), "holo") {
+		t.Fatalf("error %q does not name the unknown family", err)
+	}
+}
+
+// TestV1BlobStillLoads pins backward compatibility: version-1 blobs
+// (written before explainer families existed) carry no family tag and
+// must load as gam.
+func TestV1BlobStillLoads(t *testing.T) {
+	f := gprimeForest(t)
+	e, err := NewEngine().Explain(f, quickCfg())
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	data, err := e.Marshal(false)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Rewrite the blob to the v1 shape: version 1, no family field.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = json.RawMessage("1")
+	delete(raw, "family")
+	v1, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(v1)
+	if err != nil {
+		t.Fatalf("v1 blob rejected: %v", err)
+	}
+	if got.Family != FamilyGAM || got.Model == nil {
+		t.Fatalf("v1 blob loaded as family %q (model nil: %v), want gam", got.Family, got.Model == nil)
 	}
 }

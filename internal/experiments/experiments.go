@@ -32,6 +32,11 @@ type Params struct {
 	Scale  Scale
 	Seed   int64
 	OutDir string // when non-empty, tables and series are also dumped as CSV
+	// Family restricts family-aware experiments (extra-families) to a
+	// comma-separated subset of the registered explainer families; empty
+	// means all of them. Experiments that fit a single fixed surrogate
+	// ignore it.
+	Family string
 	// Ctx carries the run's cancellation/deadline context; nil means
 	// context.Background(). Use Context() to read it.
 	Ctx context.Context
@@ -110,6 +115,7 @@ func Registry() []Experiment {
 		{ID: "extra-surrogates", Title: "GEF GAM vs distilled-tree surrogate fidelity", Run: RunExtraSurrogates},
 		{ID: "extra-auto", Title: "AutoExplain component search trace", Run: RunExtraAuto},
 		{ID: "extra-engine", Title: "Staged engine cold vs warm artifact-cache reuse", Run: RunExtraEngine},
+		{ID: "extra-families", Title: "Explainer families: fidelity/latency across surrogates", Run: RunExtraFamilies},
 		{ID: "extra-rf", Title: "GEF applied to a Random Forest", Run: RunExtraRandomForest},
 	}
 }

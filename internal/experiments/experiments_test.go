@@ -12,7 +12,7 @@ import (
 func TestRegistryCoversAllPaperResults(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"extra-surrogates", "extra-auto", "extra-engine", "extra-rf"}
+		"extra-surrogates", "extra-auto", "extra-engine", "extra-families", "extra-rf"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -352,6 +352,59 @@ func TestExtrasQuick(t *testing.T) {
 	gamVsT := parseF(t, rr.Tables[0].Rows[1][1])
 	if gamVsT < 0.75 {
 		t.Errorf("GEF on RF: Γ vs T R² = %v", gamVsT)
+	}
+}
+
+// TestExtraFamiliesQuick drives the family-comparison experiment at
+// quick scale: every registered family must appear with measured
+// fidelity, the cross-family cache reuse it asserts internally must
+// hold, BENCH_family.json must land in OutDir with the three
+// first-party families, and the Family filter must work.
+func TestExtraFamiliesQuick(t *testing.T) {
+	e, ok := Lookup("extra-families")
+	if !ok {
+		t.Fatal("extra-families not registered")
+	}
+	dir := t.TempDir()
+	r, err := e.Run(Params{Scale: Quick, Seed: 1, OutDir: dir})
+	if err != nil {
+		t.Fatalf("extra-families: %v", err)
+	}
+	rows := r.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("comparison table has %d rows, want 5 families: %v", len(rows), rows)
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		seen[row[0]] = true
+		if rmse := parseF(t, row[2]); rmse < 0 || rmse != rmse {
+			t.Errorf("family %s RMSE %v is not a measurement", row[0], rmse)
+		}
+	}
+	for _, fam := range []string{"gam", "rules", "smoother", "lime", "distill"} {
+		if !seen[fam] {
+			t.Errorf("family %s missing from the comparison table", fam)
+		}
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_family.json"))
+	if err != nil {
+		t.Fatalf("BENCH_family.json not written: %v", err)
+	}
+	for _, fam := range []string{`"gam"`, `"rules"`, `"smoother"`} {
+		if !bytes.Contains(blob, []byte(fam)) {
+			t.Errorf("BENCH_family.json missing %s", fam)
+		}
+	}
+
+	sub, err := e.Run(Params{Scale: Quick, Seed: 1, Family: "gam,rules"})
+	if err != nil {
+		t.Fatalf("family filter: %v", err)
+	}
+	if n := len(sub.Tables[0].Rows); n != 2 {
+		t.Errorf("filtered run has %d rows, want 2", n)
+	}
+	if _, err := e.Run(Params{Scale: Quick, Seed: 1, Family: "nope"}); err == nil {
+		t.Error("unknown family accepted by the filter")
 	}
 }
 

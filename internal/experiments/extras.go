@@ -1,8 +1,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"gef/internal/core"
@@ -145,6 +151,162 @@ func RunExtraEngine(p Params) (*Report, error) {
 		"the fit row counts B-spline basis/penalty reuse inside gam; the other rows cache whole pipeline artifacts")
 	return r, nil
 }
+
+// familyBenchRow is one family's measured cost/quality in
+// BENCH_family.json.
+type familyBenchRow struct {
+	FitMs        float64 `json:"fit_ms"`
+	RMSE         float64 `json:"rmse"`
+	R2           float64 `json:"r2"`
+	Degradations int     `json:"degradations"`
+}
+
+// familyBench is the BENCH_family.json shape: per-family fidelity and
+// latency over one shared engine session, plus the engine counters that
+// prove the D* artifacts were built once and reused across families.
+type familyBench struct {
+	Name         string                    `json:"name"`
+	Go           string                    `json:"go"`
+	OS           string                    `json:"os"`
+	Arch         string                    `json:"arch"`
+	Families     map[string]familyBenchRow `json:"families"`
+	EngineHits   int64                     `json:"engine_hits"`
+	EngineMisses int64                     `json:"engine_misses"`
+}
+
+// familyOrder lists the comparison rows first-party first; registered
+// families missing from it (future additions) are appended sorted.
+var familyOrder = []string{core.FamilyGAM, core.FamilyRules, core.FamilySmoother, core.FamilyLIME, core.FamilyDistill}
+
+// familiesFor resolves p.Family (comma-separated, empty = all) against
+// the registry, preserving the preferred presentation order.
+func familiesFor(p Params) ([]string, error) {
+	registered := make(map[string]bool)
+	for _, fam := range core.Families() {
+		registered[fam] = true
+	}
+	want := registered
+	if p.Family != "" {
+		want = make(map[string]bool)
+		for _, fam := range strings.Split(p.Family, ",") {
+			fam = strings.TrimSpace(fam)
+			if fam == "" {
+				continue
+			}
+			if !registered[fam] {
+				return nil, fmt.Errorf("experiments: unknown explainer family %q (registered: %s)",
+					fam, strings.Join(core.Families(), ", "))
+			}
+			want[fam] = true
+		}
+	}
+	var out []string
+	for _, fam := range familyOrder {
+		if want[fam] {
+			out = append(out, fam)
+			delete(want, fam)
+		}
+	}
+	rest := make([]string, 0, len(want))
+	for fam := range want {
+		rest = append(rest, fam)
+	}
+	sort.Strings(rest)
+	return append(out, rest...), nil
+}
+
+// RunExtraFamilies fits every registered explainer family on the same
+// forest over one engine session and reports fidelity (held-out D*),
+// fit latency and degradation counts side by side. The first family pays
+// for the shared pipeline artifacts (stats, domains, D* sample); every
+// later family must reuse them from the engine cache — the per-stage
+// hit counters in the second table are the proof. When OutDir is set the
+// comparison also lands in OutDir/BENCH_family.json (gated by verify.sh).
+func RunExtraFamilies(p Params) (*Report, error) {
+	p = p.withDefaults()
+	fams, err := familiesFor(p)
+	if err != nil {
+		return nil, err
+	}
+	z := sizesFor(p.Scale)
+	f, _, _, err := gprimeForest(p, z)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine()
+	base := core.Config{
+		NumUnivariate: 5,
+		NumSamples:    z.dstarN,
+		Sampling:      sampling.Config{Strategy: sampling.EquiSize, K: z.fig4K},
+		GAM:           gam.Options{Lambdas: z.lambdas},
+		Seed:          p.Seed,
+	}
+	bench := familyBench{
+		Name:     "gef-extra-families",
+		Go:       runtime.Version(),
+		OS:       runtime.GOOS,
+		Arch:     runtime.GOARCH,
+		Families: make(map[string]familyBenchRow, len(fams)),
+	}
+	r := &Report{ID: "extra-families", Title: "Explainer families on one engine session"}
+	tab := Table{Name: "fidelity and latency per family (held-out D*)", Header: []string{"family", "fit ms", "RMSE", "R²", "degradations"}}
+	for _, fam := range fams {
+		cfg := base
+		cfg.Family = fam
+		start := time.Now()
+		e, err := eng.ExplainCtx(p.Context(), f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("family %s: %w", fam, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		tab.AddRow(fam, f1(ms), f4(e.Fidelity.RMSE), f4(e.Fidelity.R2), itoa(len(e.Degradations)))
+		bench.Families[fam] = familyBenchRow{
+			FitMs: ms, RMSE: e.Fidelity.RMSE, R2: e.Fidelity.R2,
+			Degradations: len(e.Degradations),
+		}
+	}
+	r.Tables = append(r.Tables, tab)
+
+	stats := eng.CacheStats()
+	bench.EngineHits, bench.EngineMisses = stats.Hits, stats.Misses
+	cacheTab := Table{Name: "per-stage artifact cache across families", Header: []string{"stage", "hits", "misses"}}
+	names := make([]string, 0, len(stats.Stages))
+	for name := range stats.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats.Stages[name]
+		cacheTab.AddRow(name, itoa(int(st.Hits)), itoa(int(st.Misses)))
+	}
+	r.Tables = append(r.Tables, cacheTab)
+	if len(fams) > 1 && stats.Hits == 0 {
+		return nil, fmt.Errorf("experiments: no engine cache hits across %d families — cross-family artifact reuse is broken", len(fams))
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("one engine session, %d families: %d artifact hits / %d misses — stats, domains and D* are built once and shared",
+			len(fams), stats.Hits, stats.Misses),
+		"gam fits per-call (basis cache counters fold into the fit row); rules/smoother models are cached as fit-stage artifacts")
+
+	if p.OutDir != "" {
+		if err := os.MkdirAll(p.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		blob, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(p.OutDir, "BENCH_family.json")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		r.Notes = append(r.Notes, "benchmark written to "+path)
+	}
+	return r, nil
+}
+
+// f1 formats with 1 decimal for latency cells.
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 
 // RunExtraRandomForest applies GEF to a Random Forest — the paper's §6
 // future work — and reports the same fidelity numbers as Table 2.

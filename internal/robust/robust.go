@@ -112,6 +112,10 @@ const (
 	// ActionMainEffects: the final ladder rung — a minimal-basis
 	// main-effects-only fit.
 	ActionMainEffects = "main_effects_only"
+	// ActionFallbackFamily: the requested surrogate family failed
+	// numerically even after its own recovery ladder, and the fit stage
+	// fell back to a simpler explainer family (smoother → gam → rules).
+	ActionFallbackFamily = "fallback_family"
 )
 
 // Degradation records one step the pipeline took to keep producing a

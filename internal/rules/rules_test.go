@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gbdt"
+	"gef/internal/par"
+)
+
+// forestAndData is the fixture shape: a trained forest plus samples
+// relabeled with its own predictions — what core's D* split looks like.
+type forestAndData struct {
+	f           *forest.Forest
+	train, test *dataset.Dataset
+}
+
+func fixture(t *testing.T) (*forestAndData, Config) {
+	t.Helper()
+	ds := dataset.GPrime(800, 0.05, 11)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 30, NumLeaves: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := &dataset.Dataset{X: ds.X[:600], Y: f.PredictBatch(ds.X[:600])}
+	test := &dataset.Dataset{X: ds.X[600:], Y: f.PredictBatch(ds.X[600:])}
+	return &forestAndData{f: f, train: train, test: test}, Config{}
+}
+
+func TestReducedPredictionWithinTolerance(t *testing.T) {
+	fx, cfg := fixture(t)
+	m, err := Fit(context.Background(), fx.f, fx.train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Summary()
+	if s.MeanKeptTrees >= float64(s.NumTrees) {
+		t.Fatalf("reduction kept all %d trees on average (%.1f); nothing was reduced", s.NumTrees, s.MeanKeptTrees)
+	}
+	pred, err := m.PredictBatch(context.Background(), fx.test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pred {
+		if d := math.Abs(p - fx.test.Y[i]); d > s.AbsTolerance+1e-12 {
+			t.Fatalf("row %d: reduced prediction off by %g > tolerance %g", i, d, s.AbsTolerance)
+		}
+	}
+}
+
+func TestExplainRuleCoversInstance(t *testing.T) {
+	fx, cfg := fixture(t)
+	m, err := Fit(context.Background(), fx.f, fx.train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		x := fx.test.X[i]
+		r, err := m.Explain(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.KeptTrees > r.TotalTrees || r.TotalTrees != len(fx.f.Trees) {
+			t.Fatalf("row %d: kept %d of %d trees", i, r.KeptTrees, r.TotalTrees)
+		}
+		if d := math.Abs(r.Prediction - r.ForestPrediction); d > m.Summary().AbsTolerance+1e-12 {
+			t.Fatalf("row %d: rule prediction off by %g", i, d)
+		}
+		for _, term := range r.Terms {
+			v := x[term.Feature]
+			if !(v > term.Lo && v <= term.Hi) {
+				t.Fatalf("row %d: x[%d]=%g outside rule range (%g, %g]", i, term.Feature, v, term.Lo, term.Hi)
+			}
+		}
+		if r.KeptTrees > 0 && len(r.Terms) == 0 {
+			t.Fatalf("row %d: %d kept trees produced an empty rule", i, r.KeptTrees)
+		}
+		if r.String() == "" {
+			t.Fatalf("row %d: empty rule rendering", i)
+		}
+	}
+}
+
+func TestPredictBatchDeterministicAcrossWorkers(t *testing.T) {
+	fx, cfg := fixture(t)
+	m, err := Fit(context.Background(), fx.f, fx.train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	for _, w := range []int{1, 2, 4} {
+		par.SetWorkers(w)
+		got, err := m.PredictBatch(context.Background(), fx.test.X)
+		if err != nil {
+			par.SetWorkers(0)
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			//lint:ignore floatcmp bitwise determinism is the contract under test
+			if got[i] != ref[i] {
+				par.SetWorkers(0)
+				t.Fatalf("workers=%d row %d: %v != %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	par.SetWorkers(0)
+}
+
+func TestSummaryRoundTripAndStub(t *testing.T) {
+	fx, cfg := fixture(t)
+	m, err := Fit(context.Background(), fx.f, fx.train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(blob, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s != m.Summary() {
+		t.Fatalf("summary round trip: %+v != %+v", s, m.Summary())
+	}
+	stub := FromSummary(s)
+	if stub.Fitted() {
+		t.Fatal("summary-only model claims to be fitted")
+	}
+	if !math.IsNaN(stub.Predict(fx.test.X[0])) {
+		t.Fatal("summary-only model should predict NaN")
+	}
+	if _, err := stub.Explain(fx.test.X[0]); err == nil {
+		t.Fatal("summary-only model should refuse to extract rules")
+	}
+}

@@ -85,8 +85,15 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 
 // normalizeConfig fills server defaults into zero-valued knobs. Run
 // before both validation and key hashing: two requests that mean the
-// same computation must hash to the same coalescing key.
+// same computation must hash to the same coalescing key. Family is
+// defaulted here too, so requests for different explainer families
+// always carry distinct keys (an explicit "gam" and an omitted family
+// still coalesce) and an unknown family fails Validate with the typed
+// 400 instead of reaching the engine.
 func normalizeConfig(cfg core.Config) core.Config {
+	if cfg.Family == "" {
+		cfg.Family = core.FamilyGAM
+	}
 	if cfg.NumUnivariate == 0 {
 		cfg.NumUnivariate = 5
 	}
@@ -211,6 +218,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, tenant, err)
 		return
 	}
+	s.tenantStat(tenant, func(ts *TenantStats) { ts.family(cfg.Family) })
 	key, err := requestKey("explain", req.Fingerprint, cfg)
 	if err != nil {
 		s.writeError(w, tenant, err)

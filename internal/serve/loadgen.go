@@ -60,6 +60,12 @@ type LoadConfig struct {
 	// NumSamples overrides the explain config's |D*| (0 = 2000; small
 	// keeps closed-loop latency benchable).
 	NumSamples int
+	// Families rotates explain requests across explainer families
+	// (e.g. ["gam", "rules", "smoother"]). Empty means every request
+	// uses the server default family. Hot-set requests cycle families
+	// deterministically, so duplicates within one family still coalesce
+	// while distinct families never share a key.
+	Families []string
 	// Seed makes the request mix reproducible.
 	Seed int64
 }
@@ -222,12 +228,16 @@ func nextRequest(cfg LoadConfig, rng *rand.Rand, id int) (kind string, body any,
 		return "shap", shapRequest{Fingerprint: fp, X: x, BudgetMS: cfg.BudgetMS}, cancelMS
 	}
 	c := core.Config{NumUnivariate: 3, NumSamples: cfg.NumSamples, Seed: 7}
+	if len(cfg.Families) > 0 {
+		c.Family = cfg.Families[rng.Intn(len(cfg.Families))]
+	}
 	switch {
 	case bad:
 		c.NumSamples = -1
 	case rng.Float64() < cfg.DupFrac:
-		// Hot set: two configs, so coalescing and the engine cache see
-		// sustained duplicates without collapsing to a single key.
+		// Hot set: two configs (per family, when a mix is set), so
+		// coalescing and the engine cache see sustained duplicates
+		// without collapsing to a single key.
 		if rng.Intn(2) == 1 {
 			c.NumUnivariate = 2
 		}

@@ -137,6 +137,59 @@ func TestExplainBadConfig(t *testing.T) {
 	}
 }
 
+// TestExplainUnknownFamily checks the typed 400 contract for a family
+// name the registry does not know: kind "config", message naming the
+// offending family, and no computation admitted.
+func TestExplainUnknownFamily(t *testing.T) {
+	_, ts, fp := newTestServer(t, Options{})
+	cfg := fastConfig()
+	cfg.Family = "nope"
+	resp, payload := doJSON(t, http.MethodPost, ts.URL+"/v1/explain", "",
+		explainRequest{Fingerprint: fp, Config: cfg})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, payload)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(payload, &eb); err != nil || eb.Kind != "config" {
+		t.Fatalf("error body = %s, want kind config", payload)
+	}
+	if !strings.Contains(eb.Error, "nope") {
+		t.Fatalf("error message %q does not name the unknown family", eb.Error)
+	}
+}
+
+// TestExplainFamilyRules drives a non-GAM family end to end through the
+// server: 200, family tag on the deserialized explanation, and the
+// per-tenant family ledger records it.
+func TestExplainFamilyRules(t *testing.T) {
+	s, ts, fp := newTestServer(t, Options{})
+	cfg := fastConfig()
+	cfg.Family = core.FamilyRules
+	resp, payload := doJSON(t, http.MethodPost, ts.URL+"/v1/explain", "acme",
+		explainRequest{Fingerprint: fp, Config: cfg})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, payload)
+	}
+	var out explainResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := core.Unmarshal(out.Explanation)
+	if err != nil {
+		t.Fatalf("rules explanation does not round-trip: %v", err)
+	}
+	if ex.Family != core.FamilyRules {
+		t.Fatalf("family = %q, want %q", ex.Family, core.FamilyRules)
+	}
+	st := s.Stats()
+	if n := st.Tenants["acme"].Families[core.FamilyRules]; n != 1 {
+		t.Fatalf("tenant family ledger = %v, want rules:1", st.Tenants["acme"].Families)
+	}
+	if n := st.Families[core.FamilyRules]; n != 1 {
+		t.Fatalf("aggregate family ledger = %v, want rules:1", st.Families)
+	}
+}
+
 func TestExplainMalformedBody(t *testing.T) {
 	_, ts, _ := newTestServer(t, Options{})
 	resp, err := http.Post(ts.URL+"/v1/explain", "application/json", strings.NewReader("{not json"))
@@ -391,5 +444,32 @@ func TestNormalizeConfigStable(t *testing.T) {
 	}
 	if a == d {
 		t.Fatal("request kind not part of the key")
+	}
+}
+
+// TestRequestKeyDistinctPerFamily guards the coalescing contract under
+// family mixes: an omitted family and an explicit "gam" coalesce, while
+// each distinct family hashes to its own key so a rules request can
+// never be answered with a smoother explanation.
+func TestRequestKeyDistinctPerFamily(t *testing.T) {
+	key := func(fam string) string {
+		cfg := fastConfig()
+		cfg.Family = fam
+		k, err := requestKey("explain", "fp", normalizeConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key("") != key(core.FamilyGAM) {
+		t.Fatal("omitted family and explicit gam hash differently")
+	}
+	seen := map[string]string{}
+	for _, fam := range []string{core.FamilyGAM, core.FamilyRules, core.FamilySmoother, core.FamilyLIME, core.FamilyDistill} {
+		k := key(fam)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("families %q and %q collide on coalescing key %s", prev, fam, k)
+		}
+		seen[k] = fam
 	}
 }

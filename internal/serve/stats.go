@@ -40,6 +40,32 @@ type TenantStats struct {
 	CoalesceLeads int64 `json:"coalesce_leads"`
 	EngineHits    int64 `json:"engine_hits"`
 	EngineMisses  int64 `json:"engine_misses"`
+	// Families counts /v1/explain requests per explainer family (after
+	// normalization, so an omitted family counts as "gam"). Requests
+	// rejected before validation are not counted.
+	Families map[string]int64 `json:"families,omitempty"`
+}
+
+// family bumps the tenant's per-family request counter. Callers hold
+// the server mutex (via tenantStat).
+func (ts *TenantStats) family(name string) {
+	if ts.Families == nil {
+		ts.Families = make(map[string]int64)
+	}
+	ts.Families[name]++
+}
+
+// cloneFamilies deep-copies the family map so Stats snapshots do not
+// alias the live ledger.
+func (ts TenantStats) cloneFamilies() map[string]int64 {
+	if ts.Families == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(ts.Families))
+	for k, v := range ts.Families {
+		out[k] = v
+	}
+	return out
 }
 
 // Stats is the /v1/stats payload.
@@ -54,8 +80,10 @@ type Stats struct {
 	Errors        int64                  `json:"errors"`
 	CoalesceHits  int64                  `json:"coalesce_hits"`
 	CoalesceLeads int64                  `json:"coalesce_leads"`
-	Engine        core.CacheStats        `json:"engine"`
-	Tenants       map[string]TenantStats `json:"tenants"`
+	// Families aggregates per-family explain counts over all tenants.
+	Families map[string]int64       `json:"families,omitempty"`
+	Engine   core.CacheStats        `json:"engine"`
+	Tenants  map[string]TenantStats `json:"tenants"`
 }
 
 // tenantStat applies f to the named tenant's ledger, creating it on
@@ -112,12 +140,19 @@ func (s *Server) Stats() Stats {
 	}
 	for _, name := range names {
 		ts := *s.tenants[name]
+		ts.Families = ts.cloneFamilies()
 		out.Tenants[name] = ts
 		out.Requests += ts.Requests
 		out.Shed += ts.Shed
 		out.Errors += ts.Errors
 		out.CoalesceHits += ts.CoalesceHits
 		out.CoalesceLeads += ts.CoalesceLeads
+		for fam, n := range ts.Families {
+			if out.Families == nil {
+				out.Families = make(map[string]int64)
+			}
+			out.Families[fam] += n
+		}
 	}
 	s.mu.Unlock()
 	out.Draining = s.Draining()

@@ -1,0 +1,139 @@
+package smoother
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"gef/internal/dataset"
+	"gef/internal/forest"
+	"gef/internal/gbdt"
+	"gef/internal/par"
+	"gef/internal/robust"
+	"gef/internal/stats"
+)
+
+func fixture(t *testing.T) (*forest.Forest, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.GPrime(1000, 0.05, 7)
+	f, err := gbdt.Train(ds, gbdt.Params{NumTrees: 30, NumLeaves: 15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := &dataset.Dataset{X: ds.X[:800], Y: f.PredictBatch(ds.X[:800])}
+	test := &dataset.Dataset{X: ds.X[800:], Y: f.PredictBatch(ds.X[800:])}
+	return f, train, test
+}
+
+func allFeatures() []int { return []int{0, 1, 2, 3, 4} }
+
+func TestFitPredictsForestResponses(t *testing.T) {
+	f, train, test := fixture(t)
+	m, err := Fit(context.Background(), f, allFeatures(), train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.PredictBatch(context.Background(), test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := stats.R2(pred, test.Y); r2 < 0.3 {
+		t.Fatalf("smoother R² vs forest = %.3f; the proximity bandwidths carry no signal", r2)
+	}
+	if m.Payload().ProximityPairs == 0 {
+		t.Fatal("no proximate pairs found on g′; the co-leaf scan is broken")
+	}
+	for fi, h := range m.Bandwidths() {
+		if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+			t.Fatalf("bandwidth[%d] = %v is not a usable width", fi, h)
+		}
+	}
+}
+
+func TestPayloadRoundTripBitwise(t *testing.T) {
+	f, train, test := fixture(t)
+	m, err := Fit(context.Background(), f, allFeatures(), train, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Payload
+	if err := json.Unmarshal(blob, &p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		a, b := m.Predict(test.X[i]), back.Predict(test.X[i])
+		//lint:ignore floatcmp bitwise round-trip identity is the contract under test
+		if a != b {
+			t.Fatalf("row %d: reloaded prediction %v != fitted %v", i, b, a)
+		}
+	}
+}
+
+func TestPredictBatchDeterministicAcrossWorkers(t *testing.T) {
+	f, train, test := fixture(t)
+	// Fit at every worker count too: bandwidth estimation must be
+	// chunk-invariant, not just prediction.
+	var ref []float64
+	for _, w := range []int{1, 2, 4} {
+		par.SetWorkers(w)
+		m, err := Fit(context.Background(), f, allFeatures(), train, Config{})
+		if err != nil {
+			par.SetWorkers(0)
+			t.Fatal(err)
+		}
+		got, err := m.PredictBatch(context.Background(), test.X)
+		if err != nil {
+			par.SetWorkers(0)
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			//lint:ignore floatcmp bitwise determinism is the contract under test
+			if got[i] != ref[i] {
+				par.SetWorkers(0)
+				t.Fatalf("workers=%d row %d: %v != %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+	par.SetWorkers(0)
+}
+
+func TestDegenerateFeaturesFailNumerically(t *testing.T) {
+	f, train, _ := fixture(t)
+	// Collapse feature 0 across the whole train sample: proximity
+	// distances and the Silverman fallback both vanish, so the only
+	// selected feature has no usable bandwidth.
+	flat := make([][]float64, len(train.X))
+	for i, row := range train.X {
+		r := append([]float64(nil), row...)
+		r[0] = 0.5
+		flat[i] = r
+	}
+	_, err := Fit(context.Background(), f, []int{0}, &dataset.Dataset{X: flat, Y: train.Y}, Config{})
+	if !errors.Is(err, robust.ErrNumerical) {
+		t.Fatalf("want ErrNumerical for an all-degenerate bandwidth set, got %v", err)
+	}
+}
+
+func TestEmptyInputsAreDegenerate(t *testing.T) {
+	f, train, _ := fixture(t)
+	if _, err := Fit(context.Background(), f, allFeatures(), nil, Config{}); !errors.Is(err, robust.ErrDegenerate) {
+		t.Fatalf("nil train: want ErrDegenerate, got %v", err)
+	}
+	if _, err := Fit(context.Background(), f, nil, train, Config{}); !errors.Is(err, robust.ErrDegenerate) {
+		t.Fatalf("no features: want ErrDegenerate, got %v", err)
+	}
+}

@@ -39,11 +39,12 @@ type serveBenchReport struct {
 }
 
 type serveBenchMix struct {
-	DupFrac     float64 `json:"dup_frac"`
-	ShapFrac    float64 `json:"shap_frac"`
-	BadFrac     float64 `json:"bad_frac"`
-	UnknownFrac float64 `json:"unknown_frac"`
-	CancelFrac  float64 `json:"cancel_frac"`
+	DupFrac     float64  `json:"dup_frac"`
+	ShapFrac    float64  `json:"shap_frac"`
+	BadFrac     float64  `json:"bad_frac"`
+	UnknownFrac float64  `json:"unknown_frac"`
+	CancelFrac  float64  `json:"cancel_frac"`
+	Families    []string `json:"families,omitempty"`
 }
 
 // TestWriteServeBench regenerates BENCH_serve.json; it is gated behind
@@ -68,7 +69,17 @@ func TestWriteServeBench(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mix := serveBenchMix{DupFrac: 0.9, ShapFrac: 0.04, BadFrac: 0.01, UnknownFrac: 0.01, CancelFrac: 0.02}
+	// The family mix makes the bench adversarial to the coalescer: each
+	// explain rotates across three families, so the hot set is 2 configs
+	// × 3 families = 6 distinct keys. Coalescing must still engage on
+	// within-family duplicates, and must never merge across families (a
+	// rules caller fed a gam explanation would be a correctness bug —
+	// the per-family key separation is asserted in internal/serve tests;
+	// here the gate is that separation does not kill hit rate).
+	mix := serveBenchMix{
+		DupFrac: 0.9, ShapFrac: 0.04, BadFrac: 0.01, UnknownFrac: 0.01, CancelFrac: 0.02,
+		Families: []string{"gam", "rules", "smoother"},
+	}
 	cfg := serve.LoadConfig{
 		BaseURL:      ts.URL,
 		Clients:      120,
@@ -81,6 +92,7 @@ func TestWriteServeBench(t *testing.T) {
 		BadFrac:      mix.BadFrac,
 		UnknownFrac:  mix.UnknownFrac,
 		CancelFrac:   mix.CancelFrac,
+		Families:     mix.Families,
 		Seed:         41,
 	}
 	rep, err := serve.RunLoad(ctx, cfg)
@@ -92,8 +104,8 @@ func TestWriteServeBench(t *testing.T) {
 		t.Fatal("load run completed zero requests")
 	}
 	if rep.CoalesceHitRate <= 0 {
-		t.Fatalf("coalesce hit rate %.3f under a %.0f%% duplicate mix at %d clients; single-flight is not engaging",
-			rep.CoalesceHitRate, mix.DupFrac*100, cfg.Clients)
+		t.Fatalf("coalesce hit rate %.3f under a %.0f%% duplicate mix (families %v) at %d clients; single-flight is not engaging",
+			rep.CoalesceHitRate, mix.DupFrac*100, mix.Families, cfg.Clients)
 	}
 	if rep.Status["200"] == 0 {
 		t.Fatalf("no successful requests in the mix: %+v", rep.Status)

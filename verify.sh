@@ -41,6 +41,20 @@ BENCH_FOREST_OUT=BENCH_forest.json go test -count=1 -run TestWriteForestBench .
 # path cannot hide behind a green report.
 BENCH_SERVE_OUT=BENCH_serve.json go test -count=1 -run TestWriteServeBench .
 
+# Explainer-family gate (ISSUE 10): run the extra-families comparison at
+# quick scale and regenerate BENCH_family.json (per-family fidelity and
+# latency over one engine session). The experiment itself fails when no
+# engine-cache hits occur across families (broken artifact sharing); the
+# grep gate requires every first-party family to be present so a family
+# silently dropping out of the registry cannot hide behind a green run.
+fam_dir=$(mktemp -d)
+go run ./cmd/experiments -exp extra-families -scale quick -out "${fam_dir}" >/dev/null
+cp "${fam_dir}/BENCH_family.json" BENCH_family.json
+rm -rf "${fam_dir}"
+for fam in gam rules smoother; do
+	grep -q "\"${fam}\"" BENCH_family.json
+done
+
 # Race gate: every package whose sources (tests included) start
 # goroutines, touch sync/atomic primitives, or import the internal/par
 # worker-pool runtime or the serving layer is re-run under the race
